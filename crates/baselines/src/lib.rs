@@ -1,0 +1,32 @@
+//! # spg-baselines
+//!
+//! The baselines the paper compares against, all implemented on the same
+//! substrates as the main model:
+//!
+//! * [`encdec::GraphEncDec`] — the state-of-the-art learned baseline
+//!   (Ni et al., AAAI'20): graph encoder + LSTM decoder that assigns
+//!   devices to nodes sequentially. Also usable as the *partitioning model*
+//!   inside the coarsening framework (Coarsen+Graph-enc-dec).
+//! * [`gdp::GdpLite`] — GDP-style direct placement: graph encoder, one
+//!   round of scaled dot-product self-attention, per-node softmax over
+//!   devices (non-autoregressive).
+//! * [`hier::Hierarchical`] — the Mirhoseini et al. two-level model:
+//!   a Grouper assigning nodes to 25 groups and a Placer assigning groups
+//!   to devices, trained jointly.
+//! * [`heuristics`] — random, round-robin, and single-device placements.
+//!
+//! All learned baselines are trained with the same REINFORCE loop
+//! ([`trainer::PolicyTrainer`]) and the same relative-throughput reward as
+//! the coarsening model, which makes the comparisons apples-to-apples.
+
+pub mod encdec;
+pub mod gdp;
+pub mod heuristics;
+pub mod hier;
+pub mod trainer;
+
+pub use encdec::GraphEncDec;
+pub use gdp::GdpLite;
+pub use heuristics::{AllOnOne, RandomPlacement, RoundRobin};
+pub use hier::Hierarchical;
+pub use trainer::{PolicyInput, PolicyModel, PolicyTrainOptions, PolicyTrainer};

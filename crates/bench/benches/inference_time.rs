@@ -1,0 +1,57 @@
+//! Criterion companion to Table III: inference latency per graph for each
+//! allocation method at two graph scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_baselines::{GdpLite, GraphEncDec, Hierarchical};
+use spg_core::pipeline::MetisCoarsePlacer;
+use spg_core::{CoarsenAllocator, CoarsenConfig, CoarsenModel};
+use spg_gen::{DatasetSpec, Setting};
+use spg_graph::{Allocator, StreamGraph};
+use spg_partition::MetisAllocator;
+
+fn graph_for(setting: Setting) -> (StreamGraph, spg_graph::ClusterSpec, f64) {
+    let spec = DatasetSpec::scaled_down(setting);
+    (
+        spg_gen::generate_graph(&spec, 7),
+        spec.cluster(),
+        spec.source_rate,
+    )
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_time");
+    group.sample_size(20);
+
+    for setting in [Setting::Medium, Setting::Large] {
+        let (g, cluster, rate) = graph_for(setting);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+
+        let metis = MetisAllocator::new(1);
+        let coarsen = CoarsenAllocator::new(
+            CoarsenModel::new(CoarsenConfig::default(), &mut rng),
+            MetisCoarsePlacer::new(2),
+        );
+        let encdec = GraphEncDec::new(&CoarsenConfig::default(), cluster.devices, &mut rng);
+        let gdp = GdpLite::new(&CoarsenConfig::default(), cluster.devices, &mut rng);
+        let hier = Hierarchical::new(&CoarsenConfig::default(), 25, cluster.devices, &mut rng);
+
+        let methods: Vec<(&str, &dyn Allocator)> = vec![
+            ("Coarsen+Metis", &coarsen),
+            ("Metis", &metis),
+            ("Hierarchical", &hier),
+            ("GDP", &gdp),
+            ("Graph-enc-dec", &encdec),
+        ];
+        for (name, alloc) in methods {
+            group.bench_with_input(BenchmarkId::new(name, setting.slug()), &g, |b, g| {
+                b.iter(|| std::hint::black_box(alloc.allocate(g, &cluster, rate)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Partitioner microbenches: k-way partitioning cost vs graph size and
+//! the FM-refinement ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_gen::{DatasetSpec, Setting};
+use spg_graph::WeightedGraph;
+use spg_partition::{kway_partition, PartitionConfig};
+
+fn weighted(setting: Setting, seed: u64) -> WeightedGraph {
+    let spec = DatasetSpec::scaled_down(setting);
+    let g = spg_gen::generate_graph(&spec, seed);
+    WeightedGraph::from_stream(&g, spec.source_rate)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_partition");
+    group.sample_size(20);
+
+    for setting in [
+        Setting::Small,
+        Setting::Medium,
+        Setting::Large,
+        Setting::XLarge,
+    ] {
+        let w = weighted(setting, 3);
+        group.bench_with_input(
+            BenchmarkId::new("k10", format!("{}-{}n", setting.slug(), w.num_nodes())),
+            &w,
+            |b, w| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                b.iter(|| {
+                    std::hint::black_box(kway_partition(
+                        w,
+                        10,
+                        &PartitionConfig::default(),
+                        &mut rng,
+                    ))
+                })
+            },
+        );
+    }
+
+    // Refinement ablation: same graph, refinement on/off.
+    let w = weighted(Setting::Large, 5);
+    for (name, cfg) in [
+        ("refine-on", PartitionConfig::default()),
+        (
+            "refine-off",
+            PartitionConfig {
+                refine: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "large"), &w, |b, w| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| std::hint::black_box(kway_partition(w, 10, &cfg, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

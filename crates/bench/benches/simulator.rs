@@ -1,0 +1,56 @@
+//! Simulator microbenches: analytic bottleneck model vs discrete-time
+//! simulation (the speed asymmetry that makes RL training feasible — the
+//! paper spent 98 of 108 minutes per epoch inside CEPSim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spg_gen::{DatasetSpec, Setting};
+use spg_graph::Placement;
+use spg_sim::des::{simulate_des, DesConfig};
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    for setting in [Setting::Small, Setting::Medium, Setting::Large] {
+        let spec = DatasetSpec::scaled_down(setting);
+        let cluster = spec.cluster();
+        let g = spg_gen::generate_graph(&spec, 9);
+        let p = Placement::new(
+            (0..g.num_nodes() as u32)
+                .map(|v| v % cluster.devices as u32)
+                .collect(),
+        );
+
+        group.bench_with_input(BenchmarkId::new("analytic", setting.slug()), &g, |b, g| {
+            b.iter(|| {
+                std::hint::black_box(spg_sim::analytic::simulate(
+                    g,
+                    &cluster,
+                    &p,
+                    spec.source_rate,
+                ))
+            })
+        });
+
+        // Shorter DES run for benching (still converged for these sizes).
+        let cfg = DesConfig {
+            dt: 1e-3,
+            warmup_steps: 1000,
+            measure_steps: 1000,
+            queue_capacity: 200.0,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("discrete_time", setting.slug()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    std::hint::black_box(simulate_des(g, &cluster, &p, spec.source_rate, &cfg))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Model checkpointing: config + parameter values as JSON.
+
+use crate::config::CoarsenConfig;
+use crate::model::CoarsenModel;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use spg_nn::Matrix;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A serialised model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Hyperparameters (architecture must match on load).
+    pub config: CoarsenConfig,
+    /// Parameter values in registration order.
+    pub params: Vec<Matrix>,
+}
+
+impl Checkpoint {
+    /// Snapshot a model.
+    pub fn from_model(model: &CoarsenModel) -> Self {
+        Self {
+            config: model.config.clone(),
+            params: model.params().snapshot(),
+        }
+    }
+
+    /// Rebuild the model (architecture from `config`, weights restored).
+    pub fn into_model(self) -> CoarsenModel {
+        // Seed irrelevant: every weight is overwritten by the snapshot.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = CoarsenModel::new(self.config, &mut rng);
+        model.params().restore(&self.params);
+        model
+    }
+
+    /// Write JSON to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(json.as_bytes())
+    }
+
+    /// Read JSON from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let mut buf = String::new();
+        std::io::BufReader::new(std::fs::File::open(path)?).read_to_string(&mut buf)?;
+        serde_json::from_str(&buf).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::{Channel, ClusterSpec, Operator, StreamGraphBuilder};
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(100.0));
+        let c = b.add_node(Operator::new(200.0));
+        b.add_edge(a, c, Channel::new(50.0)).unwrap();
+        let g = b.finish().unwrap();
+        let cluster = ClusterSpec::paper_medium(4);
+        let before = model.predict_probs(&g, &cluster, 1e4);
+
+        let dir = std::env::temp_dir().join("spg-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        Checkpoint::from_model(&model).save(&path).unwrap();
+        let restored = Checkpoint::load(&path).unwrap().into_model();
+        std::fs::remove_file(&path).ok();
+
+        let after = restored.predict_probs(&g, &cluster, 1e4);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn checkpoint_keeps_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = CoarsenModel::new(CoarsenConfig::without_edge_encoding(), &mut rng);
+        let ck = Checkpoint::from_model(&model);
+        assert!(!ck.config.edge_encoding);
+        let restored = ck.into_model();
+        assert!(!restored.config.edge_encoding);
+    }
+}

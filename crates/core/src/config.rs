@@ -1,0 +1,103 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the coarsening model.
+///
+/// The paper trains 512-wide node embeddings and 128-wide edge embeddings
+/// on a GPU; [`CoarsenConfig::default`] is scaled for CPU training (the
+/// architecture is identical) and [`CoarsenConfig::paper_scale`] restores
+/// the published sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoarsenConfig {
+    /// Width `m` of each directional half of the node embedding (the full
+    /// node representation is `2m`).
+    pub hidden: usize,
+    /// Width of the projected edge feature inside the collapse head.
+    pub edge_hidden: usize,
+    /// Number of message-passing hops `K` (paper: 2).
+    pub hops: usize,
+    /// Hidden width of the MLP on top of the edge representation.
+    pub head_hidden: usize,
+    /// Use edge features during graph encoding (§IV-A). Turning this off is
+    /// the "w/o edge-encoding" ablation of Table II.
+    pub edge_encoding: bool,
+    /// Use edge features in the edge-collapsing head (§IV-B). Turning this
+    /// off is the "w/o edge-collapsing features" ablation of Table II.
+    pub edge_collapse_features: bool,
+    /// Hard cap on a coarse node's CPU demand, as a multiple of one
+    /// device's capacity (keeps rollouts feasible; 0 disables).
+    pub max_group_cpu_factor: f64,
+    /// Sampling temperature for on-policy rollouts.
+    pub temperature: f32,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 24,
+            edge_hidden: 8,
+            hops: 2,
+            head_hidden: 24,
+            edge_encoding: true,
+            edge_collapse_features: true,
+            max_group_cpu_factor: 1.0,
+            temperature: 1.0,
+        }
+    }
+}
+
+impl CoarsenConfig {
+    /// The published model sizes (slow on CPU; provided for completeness).
+    pub fn paper_scale() -> Self {
+        Self {
+            hidden: 256,
+            edge_hidden: 128,
+            head_hidden: 128,
+            ..Default::default()
+        }
+    }
+
+    /// The Table II "w/o edge-encoding" ablation.
+    pub fn without_edge_encoding() -> Self {
+        Self {
+            edge_encoding: false,
+            ..Default::default()
+        }
+    }
+
+    /// The Table II "w/o edge-collapsing features" ablation.
+    pub fn without_edge_collapse_features() -> Self {
+        Self {
+            edge_collapse_features: false,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CoarsenConfig::default();
+        assert_eq!(c.hops, 2, "paper sets K = 2");
+        assert!(c.edge_encoding && c.edge_collapse_features);
+    }
+
+    #[test]
+    fn ablations_flip_exactly_one_flag() {
+        let a = CoarsenConfig::without_edge_encoding();
+        assert!(!a.edge_encoding && a.edge_collapse_features);
+        let b = CoarsenConfig::without_edge_collapse_features();
+        assert!(b.edge_encoding && !b.edge_collapse_features);
+    }
+
+    #[test]
+    fn paper_scale_matches_publication() {
+        let p = CoarsenConfig::paper_scale();
+        assert_eq!(p.hidden * 2, 512);
+        assert_eq!(p.edge_hidden, 128);
+    }
+}

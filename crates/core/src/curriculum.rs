@@ -1,0 +1,139 @@
+//! Curriculum learning over graph-size levels (§IV-C).
+//!
+//! The model is trained on the easiest level first (medium graphs on 10
+//! devices in the paper), then fine-tuned level by level on larger graphs
+//! and more devices. Each level reuses the weights of the previous one, so
+//! later levels converge in a few epochs (1–3 in the paper).
+
+use crate::model::CoarsenModel;
+use crate::pipeline::CoarsePlacer;
+use crate::reinforce::{ReinforceTrainer, TrainOptions, TrainStats};
+use spg_graph::{ClusterSpec, StreamGraph};
+
+/// One curriculum level.
+#[derive(Debug, Clone)]
+pub struct CurriculumLevel {
+    /// Level name (for logs/tables).
+    pub name: String,
+    /// Training graphs of this level.
+    pub graphs: Vec<StreamGraph>,
+    /// Cluster of this level.
+    pub cluster: ClusterSpec,
+    /// Source tuple rate of this level.
+    pub source_rate: f64,
+    /// Epochs to train at this level.
+    pub epochs: usize,
+}
+
+/// Per-level training history.
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    /// Level name.
+    pub name: String,
+    /// Stats per epoch.
+    pub epochs: Vec<TrainStats>,
+}
+
+/// Train `model` through `levels` in order (the paper's size-based
+/// curriculum); returns the trained model and per-level history.
+pub fn train_curriculum<P: CoarsePlacer + Clone>(
+    mut model: CoarsenModel,
+    placer: &P,
+    levels: &[CurriculumLevel],
+    options: &TrainOptions,
+) -> (CoarsenModel, Vec<LevelStats>) {
+    let mut history = Vec::with_capacity(levels.len());
+    for (li, level) in levels.iter().enumerate() {
+        let mut opts = options.clone();
+        // Decorrelate sampling noise between levels deterministically.
+        opts.seed = options.seed.wrapping_add(li as u64 * 0x9E37);
+        let mut trainer = ReinforceTrainer::new(
+            model,
+            placer.clone(),
+            level.graphs.clone(),
+            level.cluster,
+            level.source_rate,
+            opts,
+        );
+        let mut stats = Vec::with_capacity(level.epochs);
+        for _ in 0..level.epochs {
+            stats.push(trainer.train_epoch());
+        }
+        history.push(LevelStats {
+            name: level.name.clone(),
+            epochs: stats,
+        });
+        model = trainer.into_model();
+    }
+    (model, history)
+}
+
+/// Fine-tune an already-trained model on a new setting for a few epochs
+/// (the paper's transfer experiments: medium→large, large→x-large,
+/// simulator→real platform).
+pub fn fine_tune<P: CoarsePlacer + Clone>(
+    model: CoarsenModel,
+    placer: &P,
+    level: &CurriculumLevel,
+    options: &TrainOptions,
+) -> (CoarsenModel, LevelStats) {
+    let (m, mut h) = train_curriculum(model, placer, std::slice::from_ref(level), options);
+    (m, h.pop().expect("one level trained"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoarsenConfig;
+    use crate::pipeline::MetisCoarsePlacer;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use spg_gen::{DatasetSpec, Setting};
+
+    fn level(setting: Setting, n: usize, epochs: usize) -> CurriculumLevel {
+        let spec = DatasetSpec::scaled_down(setting);
+        CurriculumLevel {
+            name: spec.name.clone(),
+            graphs: (0..n as u64)
+                .map(|s| spg_gen::generate_graph(&spec, s))
+                .collect(),
+            cluster: spec.cluster(),
+            source_rate: spec.source_rate,
+            epochs,
+        }
+    }
+
+    #[test]
+    fn curriculum_trains_through_levels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let levels = vec![level(Setting::Small, 2, 2), level(Setting::Medium, 2, 1)];
+        let opts = TrainOptions {
+            metis_guided: false,
+            ..Default::default()
+        };
+        let (trained, history) =
+            train_curriculum(model, &MetisCoarsePlacer::new(3), &levels, &opts);
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].epochs.len(), 2);
+        assert_eq!(history[1].epochs.len(), 1);
+        assert!(trained.num_parameters() > 0);
+    }
+
+    #[test]
+    fn fine_tune_runs_one_level() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let opts = TrainOptions {
+            metis_guided: true,
+            ..Default::default()
+        };
+        let (_m, stats) = fine_tune(
+            model,
+            &MetisCoarsePlacer::new(4),
+            &level(Setting::Small, 2, 1),
+            &opts,
+        );
+        assert_eq!(stats.epochs.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Throughput CDFs and the AUC score used throughout the paper's
+//! evaluation (Figures 1, 5, 6, 7; Tables I, II).
+
+/// An empirical throughput CDF.
+#[derive(Debug, Clone)]
+pub struct ThroughputCdf {
+    sorted: Vec<f64>,
+}
+
+impl ThroughputCdf {
+    /// Build from per-graph throughputs.
+    pub fn new(mut throughputs: Vec<f64>) -> Self {
+        throughputs.sort_by(f64::total_cmp);
+        Self {
+            sorted: throughputs,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of graphs with throughput ≤ x.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&t| t <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Area under the CDF over `[0, max_x]`:
+    /// `∫₀^max F(t) dt = (1/n) Σᵢ (max_x − min(tᵢ, max_x))`.
+    ///
+    /// With `max_x` = the source tuple rate, a method whose graphs all
+    /// reach full throughput scores 0; a method stuck at zero scores
+    /// `max_x`. Smaller is better — exactly the paper's reading.
+    pub fn auc(&self, max_x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .map(|&t| (max_x - t.min(max_x)).max(0.0))
+            .sum::<f64>()
+            / n
+    }
+
+    /// `(throughput, cumulative fraction)` step points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Mean throughput.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Median throughput.
+    pub fn median(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.len();
+        if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            0.5 * (self.sorted[n / 2 - 1] + self.sorted[n / 2])
+        }
+    }
+}
+
+/// Relative improvement of `auc` w.r.t. a baseline AUC (the paper's
+/// "Imp. wrt Metis" column): positive when `auc` is smaller (better).
+pub fn improvement_wrt(baseline_auc: f64, auc: f64) -> f64 {
+    if baseline_auc == 0.0 {
+        return 0.0;
+    }
+    (baseline_auc - auc) / baseline_auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_equals_max_minus_mean_when_below_max() {
+        let cdf = ThroughputCdf::new(vec![2000.0, 4000.0, 6000.0]);
+        let auc = cdf.auc(10_000.0);
+        assert!((auc - (10_000.0 - 4000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_method_scores_zero() {
+        let cdf = ThroughputCdf::new(vec![1e4; 5]);
+        assert_eq!(cdf.auc(1e4), 0.0);
+    }
+
+    #[test]
+    fn cdf_at_is_monotone() {
+        let cdf = ThroughputCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.5);
+        assert_eq!(cdf.at(10.0), 1.0);
+    }
+
+    #[test]
+    fn smaller_auc_means_better_throughputs() {
+        let good = ThroughputCdf::new(vec![9000.0, 9500.0, 9900.0]);
+        let bad = ThroughputCdf::new(vec![1000.0, 2000.0, 3000.0]);
+        assert!(good.auc(1e4) < bad.auc(1e4));
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!((improvement_wrt(2000.0, 1000.0) - 0.5).abs() < 1e-12);
+        assert!(improvement_wrt(2000.0, 3000.0) < 0.0);
+    }
+
+    #[test]
+    fn median_and_mean() {
+        let cdf = ThroughputCdf::new(vec![1.0, 3.0, 2.0]);
+        assert_eq!(cdf.median(), 2.0);
+        assert_eq!(cdf.mean(), 2.0);
+        let even = ThroughputCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(even.median(), 2.5);
+    }
+
+    #[test]
+    fn points_are_a_step_function() {
+        let cdf = ThroughputCdf::new(vec![5.0, 1.0]);
+        assert_eq!(cdf.points(), vec![(1.0, 0.5), (5.0, 1.0)]);
+    }
+}

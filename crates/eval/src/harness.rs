@@ -1,0 +1,140 @@
+//! Running allocators over datasets and rendering comparison artifacts.
+
+use crate::cdf::ThroughputCdf;
+use spg_graph::serialize::Dataset;
+use spg_graph::Allocator;
+
+/// Per-method evaluation result on a test set.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: String,
+    /// Per-graph sustained throughputs (tuples/s).
+    pub throughputs: Vec<f64>,
+    /// Per-graph devices actually used (for Fig. 7b).
+    pub devices_used: Vec<usize>,
+    /// Source rate of the setting (the CDF x-axis maximum).
+    pub source_rate: f64,
+}
+
+impl MethodResult {
+    /// Throughput CDF.
+    pub fn cdf(&self) -> ThroughputCdf {
+        ThroughputCdf::new(self.throughputs.clone())
+    }
+
+    /// AUC over `[0, source_rate]` (smaller = better).
+    pub fn auc(&self) -> f64 {
+        self.cdf().auc(self.source_rate)
+    }
+
+    /// Mean throughput.
+    pub fn mean_throughput(&self) -> f64 {
+        self.cdf().mean()
+    }
+}
+
+/// Evaluate one allocator over every graph in `ds`.
+pub fn evaluate_allocator(alloc: &dyn Allocator, ds: &Dataset) -> MethodResult {
+    let mut throughputs = Vec::with_capacity(ds.graphs.len());
+    let mut devices_used = Vec::with_capacity(ds.graphs.len());
+    for g in &ds.graphs {
+        let placement = alloc.allocate(g, &ds.cluster, ds.source_rate);
+        debug_assert!(placement.validate(g, ds.cluster.devices));
+        let result = spg_sim::analytic::simulate(g, &ds.cluster, &placement, ds.source_rate);
+        throughputs.push(result.throughput);
+        devices_used.push(placement.devices_used());
+    }
+    MethodResult {
+        name: alloc.name().to_string(),
+        throughputs,
+        devices_used,
+        source_rate: ds.source_rate,
+    }
+}
+
+/// Render the Table I-style comparison: AUC and improvement w.r.t. the
+/// first row (conventionally Metis).
+pub fn render_table(title: &str, results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<34} {:>10} {:>10} {:>16}\n",
+        "method", "AUC", "mean T/s", "Imp. wrt base"
+    ));
+    let base = results.first().map(|r| r.auc()).unwrap_or(0.0);
+    for r in results {
+        let auc = r.auc();
+        let imp = crate::cdf::improvement_wrt(base, auc);
+        out.push_str(&format!(
+            "{:<34} {:>10.0} {:>10.0} {:>15.0}%\n",
+            r.name,
+            auc,
+            r.mean_throughput(),
+            imp * 100.0
+        ));
+    }
+    out
+}
+
+/// Render CDF series (throughput, fraction) for plotting — one block per
+/// method, matching the figures' curves.
+pub fn render_cdf_series(results: &[MethodResult], points: usize) -> String {
+    let mut out = String::new();
+    for r in results {
+        let cdf = r.cdf();
+        out.push_str(&format!("# {}\n", r.name));
+        for i in 0..=points {
+            let x = r.source_rate * i as f64 / points as f64;
+            out.push_str(&format!("{:.0}\t{:.3}\n", x, cdf.at(x)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_baselines::{AllOnOne, RandomPlacement};
+    use spg_gen::{DatasetSpec, Setting};
+
+    fn tiny_dataset() -> Dataset {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        spg_gen::generate_dataset(&spec, 4, 11)
+    }
+
+    #[test]
+    fn evaluates_every_graph() {
+        let ds = tiny_dataset();
+        let r = evaluate_allocator(&RandomPlacement::new(0), &ds);
+        assert_eq!(r.throughputs.len(), 4);
+        assert!(r
+            .throughputs
+            .iter()
+            .all(|&t| t >= 0.0 && t <= ds.source_rate + 1e-6));
+        assert_eq!(r.devices_used.len(), 4);
+    }
+
+    #[test]
+    fn table_contains_all_methods() {
+        let ds = tiny_dataset();
+        let results = vec![
+            evaluate_allocator(&RandomPlacement::new(0), &ds),
+            evaluate_allocator(&AllOnOne, &ds),
+        ];
+        let table = render_table("test", &results);
+        assert!(table.contains("Random"));
+        assert!(table.contains("All-on-one"));
+        assert!(table.contains("AUC"));
+    }
+
+    #[test]
+    fn cdf_series_has_requested_resolution() {
+        let ds = tiny_dataset();
+        let results = vec![evaluate_allocator(&AllOnOne, &ds)];
+        let series = render_cdf_series(&results, 10);
+        let lines: Vec<&str> = series.lines().collect();
+        assert_eq!(lines.len(), 1 + 11);
+        assert!(lines[0].starts_with("# "));
+    }
+}

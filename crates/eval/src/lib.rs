@@ -1,0 +1,22 @@
+//! # spg-eval
+//!
+//! Evaluation metrics and the experiment harness shared by every
+//! table/figure regenerator in `spg-bench`:
+//!
+//! * [`cdf`] — throughput CDFs and the paper's Area-Under-Curve score
+//!   (smaller AUC = more graphs reach high throughput).
+//! * [`harness`] — run a set of allocators over a test dataset, collect
+//!   per-graph throughputs, render comparison tables and ASCII CDFs.
+//! * [`stats`] — quartiles/boxplots (Fig. 8) and histograms (Fig. 7b).
+//! * [`protocol`] — the shared experiment protocol: dataset construction,
+//!   model training with on-disk checkpoint caching, and scale selection
+//!   (quick CI-sized runs vs. paper-sized runs).
+
+pub mod cdf;
+pub mod harness;
+pub mod protocol;
+pub mod stats;
+
+pub use cdf::ThroughputCdf;
+pub use harness::{evaluate_allocator, render_cdf_series, render_table, MethodResult};
+pub use protocol::{ExperimentScale, Protocol};

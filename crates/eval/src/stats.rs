@@ -1,0 +1,133 @@
+//! Boxplot statistics (Fig. 8) and histograms (Figs. 7b, 9).
+
+/// Five-number summary for a boxplot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Compute from a sample (returns zeros when empty).
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                n: 0,
+                min: 0.0,
+                q1: 0.0,
+                median: 0.0,
+                q3: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut s = xs.to_vec();
+        s.sort_by(f64::total_cmp);
+        Self {
+            n: s.len(),
+            min: s[0],
+            q1: quantile(&s, 0.25),
+            median: quantile(&s, 0.5),
+            q3: quantile(&s, 0.75),
+            max: s[s.len() - 1],
+        }
+    }
+}
+
+/// Linear-interpolated quantile of a sorted sample.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Bucket samples into ranges given by `edges` (`edges.len() - 1` buckets,
+/// values outside are clamped into the end buckets). Returns per-bucket
+/// sample vectors — used by Fig. 8's compression-ratio boxplots.
+pub fn bucket_by(values: &[f64], keys: &[f64], edges: &[f64]) -> Vec<Vec<f64>> {
+    assert_eq!(values.len(), keys.len());
+    assert!(edges.len() >= 2);
+    let buckets = edges.len() - 1;
+    let mut out = vec![Vec::new(); buckets];
+    for (&v, &k) in values.iter().zip(keys) {
+        let mut b = buckets - 1;
+        for i in 0..buckets {
+            if k < edges[i + 1] {
+                b = i;
+                break;
+            }
+        }
+        out[b].push(v);
+    }
+    out
+}
+
+/// Integer-valued histogram over `0..=max_value` (Fig. 7b device counts).
+pub fn count_histogram(values: impl Iterator<Item = usize>, max_value: usize) -> Vec<usize> {
+    let mut h = vec![0usize; max_value + 1];
+    for v in values {
+        h[v.min(max_value)] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let b = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let s = [0.0, 10.0];
+        assert_eq!(quantile(&s, 0.5), 5.0);
+        assert_eq!(quantile(&s, 0.0), 0.0);
+        assert_eq!(quantile(&s, 1.0), 10.0);
+    }
+
+    #[test]
+    fn bucket_by_respects_edges() {
+        let values = [10.0, 20.0, 30.0, 40.0];
+        let keys = [1.0, 2.5, 3.5, 99.0];
+        let buckets = bucket_by(&values, &keys, &[0.0, 2.0, 4.0, 8.0]);
+        assert_eq!(buckets[0], vec![10.0]);
+        assert_eq!(buckets[1], vec![20.0, 30.0]);
+        assert_eq!(buckets[2], vec![40.0]); // clamped into last bucket
+    }
+
+    #[test]
+    fn count_histogram_clamps() {
+        let h = count_histogram([0usize, 2, 2, 9].into_iter(), 3);
+        assert_eq!(h, vec![1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn empty_box_stats() {
+        let b = BoxStats::of(&[]);
+        assert_eq!(b.n, 0);
+    }
+}

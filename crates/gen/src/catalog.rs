@@ -1,0 +1,178 @@
+//! A catalog of named stream-application topologies modelled on classic
+//! workloads from the stream-processing literature (word count, ETL,
+//! windowed joins, IoT telemetry). Used by examples and tests as concrete,
+//! interpretable graphs alongside the random generator.
+
+use spg_graph::{Channel, NodeId, Operator, StreamGraph, StreamGraphBuilder};
+
+/// The classic word-count topology: source → splitter → `shards` counters
+/// → aggregator → sink. The splitter partitions words among counters.
+pub fn word_count(shards: usize) -> StreamGraph {
+    assert!(shards >= 1);
+    let mut b = StreamGraphBuilder::new();
+    let source = b.add_node(Operator::new(2_000.0));
+    let split = b.add_node(Operator::new(15_000.0));
+    b.add_edge(source, split, Channel::new(256.0))
+        .expect("edge");
+    let agg = b.add_node(Operator::new(10_000.0));
+    for _ in 0..shards {
+        let counter = b.add_node(Operator::new(30_000.0));
+        b.add_edge(
+            split,
+            counter,
+            Channel::with_selectivity(64.0, 1.0 / shards as f64),
+        )
+        .expect("edge");
+        b.add_edge(counter, agg, Channel::with_selectivity(32.0, 0.1))
+            .expect("edge");
+    }
+    let sink = b.add_node(Operator::new(1_000.0));
+    b.add_edge(agg, sink, Channel::new(32.0)).expect("edge");
+    b.finish().expect("word_count is a DAG")
+}
+
+/// A linear extract-transform-load pipeline with `stages` transforms.
+pub fn etl_pipeline(stages: usize) -> StreamGraph {
+    assert!(stages >= 1);
+    let mut b = StreamGraphBuilder::new();
+    let mut prev = b.add_node(Operator::new(5_000.0));
+    for i in 0..stages {
+        let stage = b.add_node(Operator::new(20_000.0 + 10_000.0 * i as f64));
+        b.add_edge(prev, stage, Channel::new(512.0)).expect("edge");
+        prev = stage;
+    }
+    let sink = b.add_node(Operator::new(2_000.0));
+    b.add_edge(prev, sink, Channel::new(256.0)).expect("edge");
+    b.finish().expect("etl is a DAG")
+}
+
+/// A windowed stream-stream join: two sources, per-stream filtering, a
+/// join, post-aggregation, and a sink.
+pub fn windowed_join() -> StreamGraph {
+    let mut b = StreamGraphBuilder::new();
+    let left_src = b.add_node(Operator::new(3_000.0));
+    let right_src = b.add_node(Operator::new(3_000.0));
+    let left_filter = b.add_node(Operator::new(25_000.0));
+    let right_filter = b.add_node(Operator::new(25_000.0));
+    let join = b.add_node(Operator::new(120_000.0));
+    let agg = b.add_node(Operator::new(40_000.0));
+    let sink = b.add_node(Operator::new(2_000.0));
+    b.add_edge(left_src, left_filter, Channel::new(512.0))
+        .expect("edge");
+    b.add_edge(right_src, right_filter, Channel::new(512.0))
+        .expect("edge");
+    b.add_edge(left_filter, join, Channel::with_selectivity(384.0, 0.6))
+        .expect("edge");
+    b.add_edge(right_filter, join, Channel::with_selectivity(384.0, 0.6))
+        .expect("edge");
+    b.add_edge(join, agg, Channel::with_selectivity(640.0, 0.3))
+        .expect("edge");
+    b.add_edge(agg, sink, Channel::new(128.0)).expect("edge");
+    b.finish().expect("join is a DAG")
+}
+
+/// IoT telemetry analytics: `sensors` ingest paths funnel into a
+/// normaliser, fan out to anomaly detection, enrichment and archival, then
+/// converge to alerting.
+pub fn iot_telemetry(sensors: usize) -> StreamGraph {
+    assert!(sensors >= 1);
+    let mut b = StreamGraphBuilder::new();
+    let gateways: Vec<NodeId> = (0..sensors)
+        .map(|_| b.add_node(Operator::new(4_000.0)))
+        .collect();
+    let normalize = b.add_node(Operator::new(30_000.0));
+    for &g in &gateways {
+        b.add_edge(g, normalize, Channel::new(200.0)).expect("edge");
+    }
+    let anomaly = b.add_node(Operator::new(180_000.0));
+    let enrich = b.add_node(Operator::new(60_000.0));
+    let archive = b.add_node(Operator::new(8_000.0));
+    b.add_edge(normalize, anomaly, Channel::with_selectivity(400.0, 0.5))
+        .expect("edge");
+    b.add_edge(normalize, enrich, Channel::with_selectivity(400.0, 0.4))
+        .expect("edge");
+    b.add_edge(normalize, archive, Channel::with_selectivity(400.0, 0.1))
+        .expect("edge");
+    let alert = b.add_node(Operator::new(12_000.0));
+    b.add_edge(anomaly, alert, Channel::with_selectivity(96.0, 0.05))
+        .expect("edge");
+    b.add_edge(enrich, alert, Channel::with_selectivity(96.0, 0.1))
+        .expect("edge");
+    b.finish().expect("iot telemetry is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::{ClusterSpec, Placement, TupleRates};
+
+    #[test]
+    fn word_count_shape() {
+        let g = word_count(4);
+        assert_eq!(g.num_nodes(), 3 + 4 + 1);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn etl_is_a_chain() {
+        let g = etl_pipeline(5);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.node_ids() {
+            assert!(g.out_degree(v) <= 1);
+        }
+    }
+
+    #[test]
+    fn windowed_join_has_two_sources() {
+        let g = windowed_join();
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn iot_fan_in_and_out() {
+        let g = iot_telemetry(6);
+        assert_eq!(g.sources().len(), 6);
+        // archive + alert are sinks.
+        assert_eq!(g.sinks().len(), 2);
+    }
+
+    #[test]
+    fn catalog_graphs_simulate_cleanly() {
+        let cluster = ClusterSpec::paper_medium(4);
+        for g in [
+            word_count(3),
+            etl_pipeline(4),
+            windowed_join(),
+            iot_telemetry(5),
+        ] {
+            let p = Placement::all_on_one(g.num_nodes());
+            let r = spg_sim_shim::relative(&g, &cluster, &p, 1e4);
+            assert!((0.0..=1.0).contains(&r), "reward {r}");
+            let rates = TupleRates::compute(&g, 1e4);
+            assert!(rates.node.iter().all(|&x| x.is_finite() && x >= 0.0));
+        }
+    }
+
+    /// Local shim so the gen crate can exercise simulation in tests
+    /// without a dependency cycle (spg-sim depends on spg-graph only, but
+    /// spg-gen does not depend on spg-sim; replicate the bottleneck rule).
+    mod spg_sim_shim {
+        use spg_graph::{ClusterSpec, Placement, StreamGraph, TupleRates};
+
+        pub fn relative(g: &StreamGraph, cluster: &ClusterSpec, p: &Placement, rate: f64) -> f64 {
+            let rates = TupleRates::compute(g, rate);
+            let mut cpu = vec![0.0f64; cluster.devices];
+            for (v, op) in g.ops().iter().enumerate() {
+                cpu[p.device(v) as usize] += rates.node[v] * op.ipt;
+            }
+            let cap = cluster.instr_per_sec();
+            cpu.iter()
+                .filter(|&&l| l > 0.0)
+                .map(|&l| (cap / l).min(1.0))
+                .fold(1.0, f64::min)
+        }
+    }
+}

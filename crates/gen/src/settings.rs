@@ -1,0 +1,164 @@
+//! The paper's experimental settings (§V).
+
+use crate::topology::GrowthConfig;
+use crate::workload::WorkloadConfig;
+use serde::{Deserialize, Serialize};
+use spg_graph::ClusterSpec;
+
+/// The five evaluation settings of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// 4–26 nodes, 5 devices, 10K/s (the small-graph benchmark of Ni et al.).
+    Small,
+    /// 100–200 nodes, 5 devices, 5K/s.
+    MediumFiveDevices,
+    /// 100–200 nodes, 10 devices, 10K/s.
+    Medium,
+    /// 400–500 nodes, 10 devices, 10K/s (the paper's main setting).
+    Large,
+    /// 1000–2000 nodes, 20 devices, 10K/s.
+    XLarge,
+    /// Large topologies with CPU demand and bandwidth reduced by 33%:
+    /// more devices than the optimum uses.
+    ExcessDevice,
+}
+
+impl Setting {
+    /// All settings, in paper order.
+    pub fn all() -> [Setting; 6] {
+        [
+            Setting::Small,
+            Setting::MediumFiveDevices,
+            Setting::Medium,
+            Setting::Large,
+            Setting::XLarge,
+            Setting::ExcessDevice,
+        ]
+    }
+
+    /// Short slug used in file names and tables.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Setting::Small => "small",
+            Setting::MediumFiveDevices => "medium-5dev",
+            Setting::Medium => "medium",
+            Setting::Large => "large",
+            Setting::XLarge => "xlarge",
+            Setting::ExcessDevice => "excess",
+        }
+    }
+}
+
+/// Everything needed to generate a dataset for a setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name (slug of the setting by default).
+    pub name: String,
+    /// Number of devices.
+    pub devices: usize,
+    /// Device capacity in MIPS.
+    pub mips: f64,
+    /// Link bandwidth in Mbps.
+    pub link_mbps: f64,
+    /// Source tuple rate (tuples/second).
+    pub source_rate: f64,
+    /// Topology growth parameters.
+    pub growth: GrowthConfig,
+    /// Workload distribution parameters.
+    pub workload: WorkloadConfig,
+}
+
+impl DatasetSpec {
+    /// The paper's parameters for `setting`.
+    ///
+    /// Clusters use 1.25e3 MIPS devices; link bandwidth is 1000 Mbps for
+    /// small/medium and 1500 Mbps for large/x-large (§V). The excess-device
+    /// setting reuses the large topologies with CPU and bandwidth reduced
+    /// by 33%.
+    pub fn for_setting(setting: Setting) -> Self {
+        let (range, devices, rate, mbps) = match setting {
+            Setting::Small => ((4usize, 26usize), 5, 1e4, 1000.0),
+            Setting::MediumFiveDevices => ((100, 200), 5, 5e3, 1000.0),
+            Setting::Medium => ((100, 200), 10, 1e4, 1000.0),
+            Setting::Large => ((400, 500), 10, 1e4, 1500.0),
+            Setting::XLarge => ((1000, 2000), 20, 1e4, 1500.0),
+            Setting::ExcessDevice => ((400, 500), 10, 1e4, 1500.0 * 0.67),
+        };
+        let mut workload = WorkloadConfig::default();
+        if setting == Setting::ExcessDevice {
+            // Nodes' CPU utilisation reduced by 33%.
+            workload.cpu_load_frac = (0.5 * 0.67, 0.9 * 0.67);
+        }
+        Self {
+            name: setting.slug().to_string(),
+            devices,
+            mips: 1.25e3,
+            link_mbps: mbps,
+            source_rate: rate,
+            growth: GrowthConfig::for_range(range.0.max(3), range.1),
+            workload,
+        }
+    }
+
+    /// A scaled-down spec for CPU-only test/bench runs: same cluster and
+    /// rates, smaller graphs.
+    pub fn scaled_down(setting: Setting) -> Self {
+        let mut spec = Self::for_setting(setting);
+        let (lo, hi) = spec.growth.node_range;
+        // Half-size keeps the coarsening headroom meaningful at 10-20
+        // devices (quarter-size left fewer than 5 nodes per device).
+        spec.growth.node_range = ((lo / 2).max(4), (hi / 2).max(8));
+        spec
+    }
+
+    /// The cluster this spec targets.
+    pub fn cluster(&self) -> ClusterSpec {
+        ClusterSpec::new(self.devices, self.mips, self.link_mbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let m = DatasetSpec::for_setting(Setting::Medium);
+        assert_eq!(m.devices, 10);
+        assert_eq!(m.growth.node_range, (100, 200));
+        assert_eq!(m.source_rate, 1e4);
+        assert_eq!(m.link_mbps, 1000.0);
+
+        let l = DatasetSpec::for_setting(Setting::Large);
+        assert_eq!(l.link_mbps, 1500.0);
+        assert_eq!(l.growth.node_range, (400, 500));
+
+        let x = DatasetSpec::for_setting(Setting::XLarge);
+        assert_eq!(x.devices, 20);
+        assert_eq!(x.growth.node_range, (1000, 2000));
+    }
+
+    #[test]
+    fn excess_setting_reduces_cpu_and_bandwidth() {
+        let e = DatasetSpec::for_setting(Setting::ExcessDevice);
+        let l = DatasetSpec::for_setting(Setting::Large);
+        assert!(e.link_mbps < l.link_mbps);
+        assert!(e.workload.cpu_load_frac.1 < l.workload.cpu_load_frac.1);
+        assert_eq!(e.devices, l.devices);
+    }
+
+    #[test]
+    fn scaled_down_shrinks_range_only() {
+        let s = DatasetSpec::scaled_down(Setting::Large);
+        let f = DatasetSpec::for_setting(Setting::Large);
+        assert!(s.growth.node_range.1 < f.growth.node_range.1);
+        assert_eq!(s.devices, f.devices);
+        assert_eq!(s.source_rate, f.source_rate);
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let slugs: std::collections::HashSet<_> = Setting::all().iter().map(|s| s.slug()).collect();
+        assert_eq!(slugs.len(), Setting::all().len());
+    }
+}

@@ -1,0 +1,258 @@
+//! Workload assignment: turning a topology [`Skeleton`] into a
+//! [`StreamGraph`] with operator costs and channel payloads.
+//!
+//! Costs are drawn log-normally per *property class* (so replicated
+//! sub-graphs share identical properties, as in the paper) and then rescaled
+//! so that the graph's total CPU demand and total channel traffic land at a
+//! sampled fraction of the cluster's aggregate capacity. This realises §V's
+//! "the total computing load for each graph in the data set has the same
+//! distribution ... within the capacity of devices" across graph sizes.
+
+use crate::topology::Skeleton;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use spg_graph::{Channel, ClusterSpec, Operator, StreamGraph, TupleRates};
+
+/// Distribution parameters for workload assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// σ of the log-normal for per-class instruction-per-tuple draws.
+    pub ipt_sigma: f64,
+    /// σ of the log-normal for per-class payload draws.
+    pub payload_sigma: f64,
+    /// Range of total CPU demand as a fraction of total cluster capacity.
+    pub cpu_load_frac: (f64, f64),
+    /// Range of total (worst-case, all-cut) traffic as a fraction of the
+    /// aggregate NIC bandwidth `devices * BW`.
+    pub traffic_frac: (f64, f64),
+    /// Probability that a fan-out edge broadcasts (selectivity 1) rather
+    /// than partitioning the stream among the successors.
+    pub broadcast_prob: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            ipt_sigma: 0.8,
+            payload_sigma: 0.8,
+            cpu_load_frac: (0.5, 0.9),
+            traffic_frac: (0.8, 2.0),
+            broadcast_prob: 0.1,
+        }
+    }
+}
+
+/// Per-graph sampled workload scale (exposed for tests/analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Sampled total-CPU fraction of cluster capacity.
+    pub cpu_frac: f64,
+    /// Sampled total-traffic fraction of aggregate bandwidth.
+    pub traffic_frac: f64,
+}
+
+/// Sample a log-normal with median 1 and the given sigma.
+fn lognormal<R: Rng>(sigma: f64, rng: &mut R) -> f64 {
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Assign workloads to `sk` and build the final graph.
+pub fn assign_workload<R: Rng>(
+    sk: Skeleton,
+    cfg: &WorkloadConfig,
+    cluster: &ClusterSpec,
+    source_rate: f64,
+    rng: &mut R,
+) -> StreamGraph {
+    let n = sk.num_nodes;
+
+    // Per-class draws (classes are dense-ish but sparse is fine with a map).
+    let mut class_ipt: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let mut class_payload: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+
+    let ops: Vec<Operator> = sk
+        .node_class
+        .iter()
+        .map(|&c| {
+            let v = *class_ipt
+                .entry(c)
+                .or_insert_with(|| lognormal(cfg.ipt_sigma, rng));
+            Operator::new(v)
+        })
+        .collect();
+
+    // Selectivities: partition the stream among a node's out-edges unless
+    // the node broadcasts. Decide per *source node* so rates stay bounded.
+    let mut out_degree = vec![0usize; n];
+    for &(a, _) in &sk.edges {
+        out_degree[a as usize] += 1;
+    }
+    let broadcast: Vec<bool> = (0..n)
+        .map(|_| rng.gen::<f64>() < cfg.broadcast_prob)
+        .collect();
+
+    let channels: Vec<Channel> = sk
+        .edges
+        .iter()
+        .zip(&sk.edge_class)
+        .map(|(&(a, _b), &c)| {
+            let payload = *class_payload
+                .entry(c)
+                .or_insert_with(|| lognormal(cfg.payload_sigma, rng));
+            let deg = out_degree[a as usize].max(1);
+            let sel = if broadcast[a as usize] {
+                1.0
+            } else {
+                1.0 / deg as f64
+            };
+            Channel::with_selectivity(payload, sel)
+        })
+        .collect();
+
+    let mut graph = StreamGraph::from_parts(ops, sk.edges, channels)
+        .expect("generator must produce valid DAGs");
+
+    // Rescale to the sampled load fractions.
+    let cpu_frac = rng.gen_range(cfg.cpu_load_frac.0..=cfg.cpu_load_frac.1);
+    let traffic_frac = rng.gen_range(cfg.traffic_frac.0..=cfg.traffic_frac.1);
+    rescale(
+        &mut graph,
+        cluster,
+        source_rate,
+        WorkloadParams {
+            cpu_frac,
+            traffic_frac,
+        },
+    );
+    graph
+}
+
+/// Rescale operator and channel costs of `graph` in place so total CPU
+/// demand = `params.cpu_frac * cluster capacity` and total traffic =
+/// `params.traffic_frac * aggregate bandwidth` at `source_rate`.
+pub fn rescale(
+    graph: &mut StreamGraph,
+    cluster: &ClusterSpec,
+    source_rate: f64,
+    params: WorkloadParams,
+) {
+    let rates = TupleRates::compute(graph, source_rate);
+    let total_cpu = rates.total_cpu_demand(graph);
+    if total_cpu > 0.0 {
+        let target = params.cpu_frac * cluster.total_instr_per_sec();
+        let s = target / total_cpu;
+        for op in graph.ops_mut() {
+            op.ipt *= s;
+        }
+    }
+    let total_traffic = rates.total_edge_traffic(graph);
+    if total_traffic > 0.0 {
+        let target = params.traffic_frac * cluster.link_bytes_per_sec() * cluster.devices as f64;
+        let s = target / total_traffic;
+        for ch in graph.channels_mut() {
+            ch.payload *= s;
+        }
+    }
+}
+
+/// Scale only operator costs (used to build the excess-device setting,
+/// which reduces CPU utilisation by 33%).
+pub fn scale_cpu(graph: &mut StreamGraph, factor: f64) {
+    for op in graph.ops_mut() {
+        op.ipt *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{GrowthConfig, TopologyGenerator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(seed: u64) -> (StreamGraph, ClusterSpec, f64) {
+        let cluster = ClusterSpec::paper_medium(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = TopologyGenerator::new(GrowthConfig::for_range(20, 40)).generate(&mut rng);
+        let g = assign_workload(sk, &WorkloadConfig::default(), &cluster, 1e4, &mut rng);
+        (g, cluster, 1e4)
+    }
+
+    #[test]
+    fn total_cpu_demand_is_within_configured_fraction() {
+        for seed in 0..10 {
+            let (g, cluster, rate) = build(seed);
+            let rates = TupleRates::compute(&g, rate);
+            let frac = rates.total_cpu_demand(&g) / cluster.total_instr_per_sec();
+            assert!(
+                (0.49..=0.91).contains(&frac),
+                "cpu fraction {frac} out of range (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn total_traffic_is_within_configured_fraction() {
+        for seed in 0..10 {
+            let (g, cluster, rate) = build(seed);
+            let rates = TupleRates::compute(&g, rate);
+            let agg_bw = cluster.link_bytes_per_sec() * cluster.devices as f64;
+            let frac = rates.total_edge_traffic(&g) / agg_bw;
+            assert!(
+                (0.79..=2.01).contains(&frac),
+                "traffic fraction {frac} out of range (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_classes_share_costs() {
+        let cluster = ClusterSpec::paper_medium(5);
+        let mut cfg = GrowthConfig::for_range(40, 80);
+        cfg.p_replicate = 1.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let sk = TopologyGenerator::new(cfg).generate(&mut rng);
+        let classes = sk.node_class.clone();
+        let g = assign_workload(sk, &WorkloadConfig::default(), &cluster, 1e4, &mut rng);
+        // Nodes of equal class must have equal ipt.
+        for i in 0..g.num_nodes() {
+            for j in (i + 1)..g.num_nodes() {
+                if classes[i] == classes[j] {
+                    let (a, b) = (g.ops()[i].ipt, g.ops()[j].ipt);
+                    assert!((a - b).abs() < 1e-12 * a.abs().max(1.0), "class mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_stay_bounded_by_partitioned_selectivity() {
+        // Without broadcast, every node rate should stay ~source_rate.
+        let cluster = ClusterSpec::paper_medium(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let sk = TopologyGenerator::new(GrowthConfig::for_range(50, 100)).generate(&mut rng);
+        let cfg = WorkloadConfig {
+            broadcast_prob: 0.0,
+            ..Default::default()
+        };
+        let g = assign_workload(sk, &cfg, &cluster, 1e4, &mut rng);
+        let rates = TupleRates::compute(&g, 1e4);
+        for &r in &rates.node {
+            assert!(r <= 1e4 * 1.0001, "rate {r} exceeded source rate");
+        }
+    }
+
+    #[test]
+    fn scale_cpu_scales_ipt() {
+        let (mut g, _, _) = build(0);
+        let before: Vec<f64> = g.ops().iter().map(|o| o.ipt).collect();
+        scale_cpu(&mut g, 0.67);
+        for (o, b) in g.ops().iter().zip(before) {
+            assert!((o.ipt - b * 0.67).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Weight initialisation.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform init for a `[rows x cols]` weight.
+pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Small-normal init (std 0.02) used for output heads.
+pub fn small_normal<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| {
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (0.02 * z) as f32
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = xavier(8, 8, &mut rng);
+        let bound = (6.0f64 / 16.0).sqrt() as f32;
+        assert!(m.data.iter().all(|&x| x.abs() <= bound));
+        assert!(m.data.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn small_normal_is_small() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = small_normal(10, 10, &mut rng);
+        let mean: f32 = m.data.iter().sum::<f32>() / 100.0;
+        assert!(mean.abs() < 0.02);
+        assert!(m.data.iter().all(|&x| x.abs() < 0.2));
+    }
+}

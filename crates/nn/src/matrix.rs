@@ -1,0 +1,214 @@
+//! Dense row-major `f32` matrices.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major data, `rows * cols` entries.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// 1x1 matrix.
+    pub fn scalar(x: f32) -> Self {
+        Self::from_vec(1, 1, vec![x])
+    }
+
+    /// The single element of a 1x1 matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "item() requires 1x1");
+        self.data[0]
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Set element at `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, x: f32) {
+        self.data[r * self.cols + c] = x;
+    }
+
+    /// `self @ other` with an ikj loop (cache-friendly row-major kernel).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, m);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * m..(i + 1) * m];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            let a_row = self.row(i);
+            for j in 0..m {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Fill with zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![1.0, 0.5, -1.0, 2.0, 0.0, 3.0]);
+        // a^T @ b computed by hand: a^T is 2x3.
+        let at = Matrix::from_vec(2, 3, vec![1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let bt = Matrix::from_vec(
+            3,
+            4,
+            vec![0.0, 3.0, 6.0, 9.0, 1.0, 4.0, 7.0, 10.0, 2.0, 5.0, 8.0, 11.0],
+        );
+        assert_eq!(a.matmul_t(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        a.scale_assign(2.0);
+        assert_eq!(a.data, vec![6.0, 8.0]);
+    }
+}

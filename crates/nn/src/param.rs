@@ -1,0 +1,162 @@
+//! Trainable parameters.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Inner state of a parameter: value, accumulated gradient, Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamData {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (reset with [`Param::zero_grad`]).
+    pub grad: Matrix,
+    /// Adam first moment.
+    pub m: Matrix,
+    /// Adam second moment.
+    pub v: Matrix,
+}
+
+/// A shared, trainable parameter. Cloning shares the underlying storage, so
+/// a layer can hand the same parameter to many tape nodes.
+#[derive(Debug, Clone)]
+pub struct Param(pub Rc<RefCell<ParamData>>);
+
+impl Param {
+    /// Parameter initialised to `value`, zero gradient/moments.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = (value.rows, value.cols);
+        Self(Rc::new(RefCell::new(ParamData {
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        })))
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> (usize, usize) {
+        let d = self.0.borrow();
+        (d.value.rows, d.value.cols)
+    }
+
+    /// Copy of the current value.
+    pub fn value(&self) -> Matrix {
+        self.0.borrow().value.clone()
+    }
+
+    /// Overwrite the value (gradients/moments untouched).
+    pub fn set_value(&self, value: Matrix) {
+        let mut d = self.0.borrow_mut();
+        assert_eq!((d.value.rows, d.value.cols), (value.rows, value.cols));
+        d.value = value;
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        self.0.borrow_mut().grad.fill_zero();
+    }
+
+    /// Number of scalar entries.
+    pub fn len(&self) -> usize {
+        let d = self.0.borrow();
+        d.value.data.len()
+    }
+
+    /// True when the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An ordered collection of parameters (a model's trainable state).
+#[derive(Debug, Clone, Default)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; returns it for convenience.
+    pub fn register(&mut self, p: Param) -> Param {
+        self.params.push(p.clone());
+        p
+    }
+
+    /// All parameters in registration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.len()).sum()
+    }
+
+    /// Zero every gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Snapshot all values (for checkpointing).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.params.iter().map(|p| p.value()).collect()
+    }
+
+    /// Restore values from a snapshot produced by [`Self::snapshot`].
+    pub fn restore(&self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.params.len(), "snapshot arity mismatch");
+        for (p, m) in self.params.iter().zip(snapshot) {
+            p.set_value(m.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_shares_storage_across_clones() {
+        let p = Param::new(Matrix::zeros(2, 2));
+        let q = p.clone();
+        p.set_value(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(q.value().data, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn paramset_snapshot_restore_roundtrip() {
+        let mut set = ParamSet::new();
+        let a = set.register(Param::new(Matrix::scalar(1.0)));
+        let b = set.register(Param::new(Matrix::scalar(2.0)));
+        let snap = set.snapshot();
+        a.set_value(Matrix::scalar(9.0));
+        b.set_value(Matrix::scalar(8.0));
+        set.restore(&snap);
+        assert_eq!(a.value().item(), 1.0);
+        assert_eq!(b.value().item(), 2.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let p = Param::new(Matrix::scalar(1.0));
+        p.0.borrow_mut().grad = Matrix::scalar(5.0);
+        p.zero_grad();
+        assert_eq!(p.0.borrow().grad.item(), 0.0);
+    }
+
+    #[test]
+    fn num_scalars_counts_all() {
+        let mut set = ParamSet::new();
+        set.register(Param::new(Matrix::zeros(2, 3)));
+        set.register(Param::new(Matrix::zeros(1, 4)));
+        assert_eq!(set.num_scalars(), 10);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based gradient checks: random small networks built from random
+//! op sequences must match finite differences, and optimizer steps must
+//! keep parameters finite.
+
+use proptest::prelude::*;
+use spg_nn::{Adam, Matrix, Param, ParamSet, Tape, Var};
+
+/// The ops the fuzzer can chain (all unary shape-preserving or reductions).
+#[derive(Debug, Clone, Copy)]
+enum FuzzOp {
+    Tanh,
+    Sigmoid,
+    Relu,
+    ScaleHalf,
+    MulSelf,
+    SoftmaxRows,
+}
+
+fn apply(t: &mut Tape, op: FuzzOp, x: Var) -> Var {
+    match op {
+        FuzzOp::Tanh => t.tanh(x),
+        FuzzOp::Sigmoid => t.sigmoid(x),
+        FuzzOp::Relu => t.relu(x),
+        FuzzOp::ScaleHalf => t.scale(x, 0.5),
+        FuzzOp::MulSelf => t.mul(x, x),
+        FuzzOp::SoftmaxRows => t.row_softmax(x),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    prop_oneof![
+        Just(FuzzOp::Tanh),
+        Just(FuzzOp::Sigmoid),
+        // ReLU excluded from grad-check chains: its kink breaks central
+        // differences when an activation sits near zero.
+        Just(FuzzOp::ScaleHalf),
+        Just(FuzzOp::MulSelf),
+        Just(FuzzOp::SoftmaxRows),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chains of smooth ops over a parameter match finite differences.
+    #[test]
+    fn random_chains_match_finite_differences(
+        ops in prop::collection::vec(op_strategy(), 1..5),
+        vals in prop::collection::vec(-1.5f32..1.5, 6),
+    ) {
+        let p = Param::new(Matrix::from_vec(2, 3, vals.clone()));
+        let f = |t: &mut Tape| {
+            let mut x = t.param(&p);
+            for &op in &ops {
+                x = apply(t, op, x);
+            }
+            t.sum_all(x)
+        };
+
+        p.zero_grad();
+        let mut tape = Tape::new();
+        let loss = f(&mut tape);
+        tape.backward(loss);
+        let analytic = p.0.borrow().grad.clone();
+
+        let eps = 1e-2f32;
+        let base = p.value();
+        for i in 0..base.data.len() {
+            let mut up = base.clone();
+            up.data[i] += eps;
+            p.set_value(up);
+            let mut t1 = Tape::new();
+            let l1 = f(&mut t1);
+            let f1 = t1.value(l1).item();
+
+            let mut dn = base.clone();
+            dn.data[i] -= eps;
+            p.set_value(dn);
+            let mut t2 = Tape::new();
+            let l2 = f(&mut t2);
+            let f2 = t2.value(l2).item();
+            p.set_value(base.clone());
+
+            let numeric = (f1 - f2) / (2.0 * eps);
+            let a = analytic.data[i];
+            prop_assert!(
+                (a - numeric).abs() <= 0.05 * (1.0 + numeric.abs()),
+                "grad[{}] analytic {} vs numeric {} (ops {:?})", i, a, numeric, ops
+            );
+        }
+    }
+
+    /// ReLU chains stay internally consistent even though they are
+    /// excluded from central-difference checks (kink at zero): forward and
+    /// backward agree with an explicit mask.
+    #[test]
+    fn relu_masks_gradient(vals in prop::collection::vec(-2.0f32..2.0, 6)) {
+        let p = Param::new(Matrix::from_vec(2, 3, vals.clone()));
+        p.zero_grad();
+        let mut t = Tape::new();
+        let x = t.param(&p);
+        let y = apply(&mut t, FuzzOp::Relu, x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        let grad = p.0.borrow().grad.clone();
+        for (g, &v) in grad.data.iter().zip(&vals) {
+            let expect = if v > 0.0 { 1.0 } else { 0.0 };
+            prop_assert!((g - expect).abs() < 1e-6);
+        }
+    }
+
+    /// Adam keeps everything finite for arbitrary gradients.
+    #[test]
+    fn adam_stays_finite(grads in prop::collection::vec(-1e6f32..1e6, 4)) {
+        let mut set = ParamSet::new();
+        let p = set.register(Param::new(Matrix::zeros(2, 2)));
+        let mut adam = Adam::new(0.01);
+        for _ in 0..5 {
+            p.0.borrow_mut().grad = Matrix::from_vec(2, 2, grads.clone());
+            adam.step(&set);
+        }
+        prop_assert!(p.value().is_finite());
+    }
+
+    /// Bernoulli log-prob is always non-positive and finite.
+    #[test]
+    fn bernoulli_log_prob_bounds(
+        logits in prop::collection::vec(-20.0f32..20.0, 1..16),
+        mask in any::<u16>(),
+    ) {
+        let actions: Vec<f32> = (0..logits.len())
+            .map(|i| if mask & (1 << (i % 16)) != 0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_vec(logits.len(), 1, logits));
+        let ll = t.bernoulli_log_prob(z, &actions);
+        let v = t.value(ll).item();
+        prop_assert!(v.is_finite() && v <= 1e-6, "log prob {}", v);
+    }
+
+    /// Categorical log-prob equals the log of the softmax probability.
+    #[test]
+    fn categorical_log_prob_consistent(
+        row in prop::collection::vec(-5.0f32..5.0, 2..8),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let k = row.len();
+        let action = pick.index(k) as u32;
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_vec(1, k, row.clone()));
+        let sm = t.row_softmax(z);
+        let prob = t.value(sm).get(0, action as usize);
+        let z2 = t.input(Matrix::from_vec(1, k, row));
+        let ll = t.categorical_log_prob(z2, &[action]);
+        prop_assert!(
+            (t.value(ll).item() - prob.ln()).abs() < 1e-4,
+            "ll {} vs ln(p) {}", t.value(ll).item(), prob.ln()
+        );
+    }
+
+    /// Segment-mean backward conserves gradient mass: the sum of input
+    /// grads equals the sum of output grads (means weight by 1/count but
+    /// each segment receives count copies).
+    #[test]
+    fn segment_mean_grad_mass(seg_raw in prop::collection::vec(0u32..4, 1..12)) {
+        let n = seg_raw.len();
+        let p = Param::new(Matrix::from_vec(n, 2, vec![0.5; n * 2]));
+        p.zero_grad();
+        let mut t = Tape::new();
+        let x = t.param(&p);
+        let pooled = t.segment_mean(x, &seg_raw, 4);
+        let loss = t.sum_all(pooled);
+        t.backward(loss);
+        let grad = p.0.borrow().grad.clone();
+        // Each non-empty segment contributes exactly 1.0 per column.
+        let distinct: std::collections::HashSet<u32> = seg_raw.iter().copied().collect();
+        let expected = distinct.len() as f32 * 2.0;
+        let total: f32 = grad.data.iter().sum();
+        prop_assert!((total - expected).abs() < 1e-4, "mass {} vs {}", total, expected);
+    }
+}

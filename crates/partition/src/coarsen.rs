@@ -1,0 +1,149 @@
+//! The multilevel coarsening phase.
+
+use crate::matching::heavy_edge_matching;
+use rand::Rng;
+use spg_graph::WeightedGraph;
+
+/// One level of the coarsening hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The graph at this level.
+    pub graph: WeightedGraph,
+    /// Map from this level's nodes to the next-coarser level's nodes
+    /// (`None` on the coarsest level).
+    pub node_map: Option<Vec<u32>>,
+}
+
+/// The full hierarchy, finest (input) graph first.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Levels, `levels[0]` is the input graph.
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph.
+    pub fn coarsest(&self) -> &WeightedGraph {
+        &self
+            .levels
+            .last()
+            .expect("hierarchy has at least one level")
+            .graph
+    }
+
+    /// Project a partition of the coarsest graph to the finest, without
+    /// refinement (refinement happens level by level in the k-way driver).
+    pub fn project_to_finest(&self, coarse_part: &[u32]) -> Vec<u32> {
+        let mut part = coarse_part.to_vec();
+        for level in self.levels.iter().rev().skip(1) {
+            let map = level
+                .node_map
+                .as_ref()
+                .expect("non-coarsest levels have maps");
+            part = map.iter().map(|&c| part[c as usize]).collect();
+        }
+        part
+    }
+}
+
+/// Coarsen `g` by repeated heavy-edge matching until at most `target_nodes`
+/// remain or matching stalls (< 10% reduction).
+pub fn coarsen_to<R: Rng>(
+    g: &WeightedGraph,
+    target_nodes: usize,
+    max_pair_weight: Option<f64>,
+    rng: &mut R,
+) -> Hierarchy {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    loop {
+        if current.num_nodes() <= target_nodes {
+            levels.push(Level {
+                graph: current,
+                node_map: None,
+            });
+            break;
+        }
+        let m = heavy_edge_matching(&current, max_pair_weight, rng);
+        let (map, k) = m.to_node_map();
+        // Stall detection: require at least 10% shrinkage to continue.
+        if k as f64 > current.num_nodes() as f64 * 0.9 {
+            levels.push(Level {
+                graph: current,
+                node_map: None,
+            });
+            break;
+        }
+        let next = current.contract(&map, k);
+        levels.push(Level {
+            graph: current,
+            node_map: Some(map),
+        });
+        current = next;
+    }
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_graph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn coarsens_to_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_graph(200, 300, &mut rng);
+        let h = coarsen_to(&g, 20, None, &mut rng);
+        assert!(h.coarsest().num_nodes() <= 40, "stalled far above target");
+        assert!(h.levels.len() >= 2);
+    }
+
+    #[test]
+    fn node_weight_is_conserved_per_level() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_graph(100, 150, &mut rng);
+        let total = g.total_node_weight();
+        let h = coarsen_to(&g, 10, None, &mut rng);
+        for level in &h.levels {
+            assert!((level.graph.total_node_weight() - total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn projection_reaches_finest() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_graph(80, 100, &mut rng);
+        let h = coarsen_to(&g, 8, None, &mut rng);
+        let coarse_n = h.coarsest().num_nodes();
+        let coarse_part: Vec<u32> = (0..coarse_n as u32).map(|i| i % 2).collect();
+        let fine = h.project_to_finest(&coarse_part);
+        assert_eq!(fine.len(), g.num_nodes());
+        assert!(fine.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn projection_preserves_cut() {
+        // The cut of a projected partition equals the coarse cut (intra-
+        // group edges are internal by construction of contract()).
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_graph(60, 80, &mut rng);
+        let h = coarsen_to(&g, 6, None, &mut rng);
+        let coarse_n = h.coarsest().num_nodes();
+        let coarse_part: Vec<u32> = (0..coarse_n as u32).map(|i| i % 2).collect();
+        let coarse_cut = h.coarsest().cut_weight(&coarse_part);
+        let fine = h.project_to_finest(&coarse_part);
+        let fine_cut = g.cut_weight(&fine);
+        assert!((coarse_cut - fine_cut).abs() < 1e-6 * coarse_cut.max(1.0));
+    }
+
+    #[test]
+    fn already_small_graph_is_single_level() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_graph(5, 3, &mut rng);
+        let h = coarsen_to(&g, 10, None, &mut rng);
+        assert_eq!(h.levels.len(), 1);
+        assert!(h.levels[0].node_map.is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! Metis-guided training signals (§IV-C).
+//!
+//! The RL coarsening model's sample buffer can be seeded with Metis
+//! partitions, but Metis "does not decide for every edge whether to merge"
+//! — only the final groups are visible. The paper recovers a collapsed-edge
+//! list with a *maximum spanning tree*: for every group of original nodes
+//! mapped to one coarse node, pick the heaviest `c - 1` edges that span its
+//! `c` connected components (per connected component within the group, a
+//! maximum spanning tree of the intra-group edges).
+
+use spg_graph::unionfind::UnionFind;
+use spg_graph::{StreamGraph, TupleRates};
+
+/// Infer a per-edge collapse decision vector that reproduces `groups`
+/// (node -> group id) when applied to `graph`: inside every group, a
+/// maximum-weight spanning forest (by edge traffic) is marked collapsed.
+///
+/// Applying the returned decisions with
+/// [`spg_graph::Coarsening::from_collapse`] reconstructs each group's
+/// connected components exactly.
+pub fn infer_collapsed_edges(graph: &StreamGraph, rates: &TupleRates, groups: &[u32]) -> Vec<bool> {
+    assert_eq!(groups.len(), graph.num_nodes());
+    let traffic = rates.edge_traffic(graph);
+
+    // Kruskal over intra-group edges in descending traffic order.
+    let mut intra: Vec<u32> = (0..graph.num_edges() as u32)
+        .filter(|&e| {
+            let (s, d) = graph.edge_list()[e as usize];
+            groups[s as usize] == groups[d as usize]
+        })
+        .collect();
+    intra.sort_unstable_by(|&a, &b| traffic[b as usize].total_cmp(&traffic[a as usize]));
+
+    let mut uf = UnionFind::new(graph.num_nodes());
+    let mut collapse = vec![false; graph.num_edges()];
+    for &e in &intra {
+        let (s, d) = graph.edge_list()[e as usize];
+        if uf.union(s, d) {
+            collapse[e as usize] = true;
+        }
+    }
+    collapse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::{Channel, Coarsening, Operator, StreamGraphBuilder};
+
+    fn diamond() -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let n0 = b.add_node(Operator::new(10.0));
+        let n1 = b.add_node(Operator::new(20.0));
+        let n2 = b.add_node(Operator::new(30.0));
+        let n3 = b.add_node(Operator::new(40.0));
+        b.add_edge(n0, n1, Channel::new(8.0)).unwrap();
+        b.add_edge(n0, n2, Channel::new(16.0)).unwrap();
+        b.add_edge(n1, n3, Channel::new(4.0)).unwrap();
+        b.add_edge(n2, n3, Channel::new(4.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn reconstructs_groups_exactly() {
+        let g = diamond();
+        let rates = TupleRates::compute(&g, 100.0);
+        // Group {0,1,2} and {3}.
+        let groups = [0u32, 0, 0, 1];
+        let collapse = infer_collapsed_edges(&g, &rates, &groups);
+        let c = Coarsening::from_collapse(&g, &rates, &collapse, None, None);
+        assert_eq!(c.coarse.num_nodes(), 2);
+        assert_eq!(c.node_map[0], c.node_map[1]);
+        assert_eq!(c.node_map[0], c.node_map[2]);
+        assert_ne!(c.node_map[0], c.node_map[3]);
+    }
+
+    #[test]
+    fn picks_heaviest_spanning_edges() {
+        let g = diamond();
+        let rates = TupleRates::compute(&g, 100.0);
+        // All nodes in one group: spanning tree has 3 edges; the heaviest
+        // edge (0->2, traffic 1600) must be chosen.
+        let collapse = infer_collapsed_edges(&g, &rates, &[0, 0, 0, 0]);
+        assert_eq!(collapse.iter().filter(|&&c| c).count(), 3);
+        assert!(collapse[1], "heaviest edge must be in the spanning tree");
+    }
+
+    #[test]
+    fn disconnected_group_collapses_per_component() {
+        // Group {1, 2} has no internal edge in the diamond: nothing can be
+        // collapsed for it, so the coarsening keeps them separate (the MST
+        // inference spans *components*, not arbitrary node sets).
+        let g = diamond();
+        let rates = TupleRates::compute(&g, 100.0);
+        let collapse = infer_collapsed_edges(&g, &rates, &[0, 1, 1, 2]);
+        assert!(collapse.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn identity_grouping_collapses_nothing() {
+        let g = diamond();
+        let rates = TupleRates::compute(&g, 100.0);
+        let collapse = infer_collapsed_edges(&g, &rates, &[0, 1, 2, 3]);
+        assert!(collapse.iter().all(|&c| !c));
+    }
+}

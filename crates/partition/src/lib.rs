@@ -1,0 +1,60 @@
+//! # spg-partition
+//!
+//! A from-scratch multilevel k-way graph partitioner in the style of Metis
+//! (Karypis & Kumar 1998), the paper's strongest non-learned baseline and
+//! the partitioning half of the coarsening-partitioning framework:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching and contraction until
+//!    the graph is small ([`coarsen`]).
+//! 2. **Initial partitioning** — greedy graph growing bisection, applied
+//!    recursively for k parts ([`bisect`], [`kway`]).
+//! 3. **Uncoarsening** — project the partition up each level and refine it
+//!    with Fiduccia–Mattheyses boundary passes ([`refine`]).
+//!
+//! Also provided:
+//!
+//! * [`allocate::MetisAllocator`] — the end-to-end baseline: stream graph →
+//!   weighted graph → k-way partition → placement.
+//! * [`allocate::MetisOracle`] — sweeps the number of parts `1..=D` and
+//!   keeps the best simulated throughput (the paper's Metis-oracle).
+//! * [`guided`] — inference of "which edges did Metis collapse" via maximum
+//!   spanning trees per group, used to seed the RL model's sample buffer
+//!   (§IV-C, Metis-guided training signals).
+
+pub mod allocate;
+pub mod bisect;
+pub mod coarsen;
+pub mod guided;
+pub mod kway;
+pub mod matching;
+pub mod refine;
+pub mod targets;
+
+pub use allocate::{MetisAllocator, MetisOracle};
+pub use kway::{kway_partition, PartitionConfig};
+pub use targets::{kway_partition_targets, MetisHeteroAllocator};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rand::Rng;
+    use spg_graph::WeightedGraph;
+
+    /// A random connected weighted graph for partitioner tests.
+    pub fn random_graph<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> WeightedGraph {
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        let mut edges = Vec::new();
+        // Random spanning tree first (guarantees connectivity).
+        for v in 1..n as u32 {
+            let u = rng.gen_range(0..v);
+            edges.push((u, v, rng.gen_range(1.0..100.0)));
+        }
+        for _ in 0..extra_edges {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            if a != b {
+                edges.push((a.min(b), a.max(b), rng.gen_range(1.0..100.0)));
+            }
+        }
+        WeightedGraph::new(weights, edges)
+    }
+}

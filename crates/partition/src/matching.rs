@@ -1,0 +1,152 @@
+//! Heavy-edge matching (HEM).
+//!
+//! Visit nodes in random order; match each unmatched node with the
+//! unmatched neighbour connected by the heaviest edge. Collapsing heavy
+//! edges internalises the most traffic per contraction — exactly the
+//! theoretical intuition the paper's learned model refines.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spg_graph::WeightedGraph;
+
+/// A matching: `mate[v]` is the node matched with `v` (or `v` itself when
+/// unmatched).
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Partner of each node (self if unmatched).
+    pub mate: Vec<u32>,
+    /// Number of matched pairs.
+    pub pairs: usize,
+}
+
+/// Compute a heavy-edge matching. `max_pair_weight` optionally refuses to
+/// match two nodes whose combined node weight exceeds the cap (keeps coarse
+/// nodes placeable on one device).
+pub fn heavy_edge_matching<R: Rng>(
+    g: &WeightedGraph,
+    max_pair_weight: Option<f64>,
+    rng: &mut R,
+) -> Matching {
+    let n = g.num_nodes();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut pairs = 0usize;
+
+    for &v in &order {
+        if mate[v as usize] != v {
+            continue;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        for &(u, e) in g.neighbors(v) {
+            if mate[u as usize] != u || u == v {
+                continue;
+            }
+            if let Some(cap) = max_pair_weight {
+                if g.node_weight[v as usize] + g.node_weight[u as usize] > cap {
+                    continue;
+                }
+            }
+            let w = g.edge_weight[e as usize];
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+            pairs += 1;
+        }
+    }
+    Matching { mate, pairs }
+}
+
+impl Matching {
+    /// Dense node map `node -> coarse id` merging matched pairs, plus the
+    /// number of coarse nodes.
+    pub fn to_node_map(&self) -> (Vec<u32>, usize) {
+        let n = self.mate.len();
+        let mut map = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for v in 0..n as u32 {
+            if map[v as usize] != u32::MAX {
+                continue;
+            }
+            let m = self.mate[v as usize];
+            map[v as usize] = next;
+            if m != v {
+                map[m as usize] = next;
+            }
+            next += 1;
+        }
+        (map, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn path4() -> WeightedGraph {
+        WeightedGraph::new(vec![1.0; 4], vec![(0, 1, 10.0), (1, 2, 1.0), (2, 3, 10.0)])
+    }
+
+    #[test]
+    fn matching_is_symmetric() {
+        let g = path4();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = heavy_edge_matching(&g, None, &mut rng);
+        for v in 0..4u32 {
+            let u = m.mate[v as usize];
+            assert_eq!(m.mate[u as usize], v, "mate must be mutual");
+        }
+    }
+
+    #[test]
+    fn prefers_heavy_edges() {
+        let g = path4();
+        for seed in 0..10 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let m = heavy_edge_matching(&g, None, &mut rng);
+            // The two weight-10 edges should both be matched pairs
+            // (the weight-1 middle edge can never beat them).
+            assert_eq!(m.pairs, 2);
+            assert_eq!(m.mate[0], 1);
+            assert_eq!(m.mate[3], 2);
+        }
+    }
+
+    #[test]
+    fn weight_cap_blocks_pairs() {
+        let g = WeightedGraph::new(vec![10.0, 10.0], vec![(0, 1, 5.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = heavy_edge_matching(&g, Some(15.0), &mut rng);
+        assert_eq!(m.pairs, 0);
+        let m2 = heavy_edge_matching(&g, Some(25.0), &mut rng);
+        assert_eq!(m2.pairs, 1);
+    }
+
+    #[test]
+    fn node_map_is_dense() {
+        let g = path4();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = heavy_edge_matching(&g, None, &mut rng);
+        let (map, k) = m.to_node_map();
+        assert_eq!(k, 2);
+        let mut seen = vec![false; k];
+        for &c in &map {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn isolated_nodes_stay_single() {
+        let g = WeightedGraph::new(vec![1.0; 3], vec![(0, 1, 1.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = heavy_edge_matching(&g, None, &mut rng);
+        assert_eq!(m.mate[2], 2);
+    }
+}

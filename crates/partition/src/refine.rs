@@ -1,0 +1,396 @@
+//! Partition refinement.
+//!
+//! * [`fm_bisection_refine`] — Fiduccia–Mattheyses passes for 2-way
+//!   partitions: tentatively move every node once in best-gain order, then
+//!   roll back to the best prefix. Climbs out of local minima by accepting
+//!   temporarily-negative moves inside a pass.
+//! * [`kway_refine`] — greedy boundary refinement for k-way partitions:
+//!   repeatedly move the boundary node with the best (gain, balance-ok)
+//!   move until a pass yields no improvement.
+
+use crate::bisect::Bisection;
+use spg_graph::WeightedGraph;
+
+/// FM refinement of a bisection toward `target_frac` balance with
+/// `balance_tol` slack (part-0 weight must stay within
+/// `target ± tol·total`). `max_passes` bounds the outer loop.
+pub fn fm_bisection_refine(
+    g: &WeightedGraph,
+    bis: &mut Bisection,
+    target_frac: f64,
+    balance_tol: f64,
+    max_passes: usize,
+) {
+    let n = g.num_nodes();
+    if n < 2 {
+        return;
+    }
+    let total = g.total_node_weight();
+    let lo = (target_frac - balance_tol) * total;
+    let hi = (target_frac + balance_tol) * total;
+
+    for _ in 0..max_passes {
+        let mut locked = vec![false; n];
+        let mut gain = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            gain[v as usize] = move_gain2(g, &bis.part, v);
+        }
+
+        let mut moves: Vec<u32> = Vec::with_capacity(n);
+        let mut cut = bis.cut;
+        let mut w0 = bis.weight0;
+        let mut best_cut = cut;
+        let mut best_prefix = 0usize;
+        let mut part = bis.part.clone();
+
+        for _ in 0..n {
+            // Best unlocked move that keeps balance feasible.
+            let mut cand: Option<(u32, f64)> = None;
+            for v in 0..n as u32 {
+                if locked[v as usize] {
+                    continue;
+                }
+                let wv = g.node_weight[v as usize];
+                let target = target_frac * total;
+                let new_w0 = if part[v as usize] == 0 {
+                    w0 - wv
+                } else {
+                    w0 + wv
+                };
+                // Feasible if inside the window, or strictly improving an
+                // out-of-window balance (lets FM recover from overshoot).
+                let inside = new_w0 >= lo && new_w0 <= hi;
+                let improving = (new_w0 - target).abs() < (w0 - target).abs() - 1e-12;
+                if !inside && !improving {
+                    continue;
+                }
+                if cand.is_none_or(|(_, bg)| gain[v as usize] > bg) {
+                    cand = Some((v, gain[v as usize]));
+                }
+            }
+            let Some((v, gv)) = cand else { break };
+
+            // Apply tentatively.
+            let from = part[v as usize];
+            let to = 1 - from;
+            part[v as usize] = to;
+            locked[v as usize] = true;
+            cut -= gv;
+            w0 += if from == 0 {
+                -g.node_weight[v as usize]
+            } else {
+                g.node_weight[v as usize]
+            };
+            moves.push(v);
+            for &(u, e) in g.neighbors(v) {
+                if locked[u as usize] {
+                    continue;
+                }
+                let w = g.edge_weight[e as usize];
+                // u's gain changes by ±2w depending on whether v joined or
+                // left u's side.
+                if part[u as usize] == to {
+                    gain[u as usize] -= 2.0 * w;
+                } else {
+                    gain[u as usize] += 2.0 * w;
+                }
+            }
+
+            if cut < best_cut - 1e-12 {
+                best_cut = cut;
+                best_prefix = moves.len();
+            }
+        }
+
+        if best_prefix == 0 {
+            break; // pass produced no improvement
+        }
+        // Roll back to the best prefix.
+        let mut part = bis.part.clone();
+        let mut w0 = bis.weight0;
+        for &v in &moves[..best_prefix] {
+            let from = part[v as usize];
+            part[v as usize] = 1 - from;
+            w0 += if from == 0 {
+                -g.node_weight[v as usize]
+            } else {
+                g.node_weight[v as usize]
+            };
+        }
+        bis.part = part;
+        bis.weight0 = w0;
+        bis.cut = best_cut;
+    }
+}
+
+/// Gain of moving `v` to the other side in a 2-way partition.
+fn move_gain2(g: &WeightedGraph, part: &[u32], v: u32) -> f64 {
+    let mut ext = 0.0;
+    let mut int = 0.0;
+    for &(u, e) in g.neighbors(v) {
+        let w = g.edge_weight[e as usize];
+        if part[u as usize] == part[v as usize] {
+            int += w;
+        } else {
+            ext += w;
+        }
+    }
+    ext - int
+}
+
+/// Greedy k-way boundary refinement. Moves a node to the neighbouring part
+/// with the highest positive gain, subject to every part staying below
+/// `max_part_weight`. Returns the number of moves applied.
+pub fn kway_refine(
+    g: &WeightedGraph,
+    part: &mut [u32],
+    k: usize,
+    max_part_weight: f64,
+    max_passes: usize,
+) -> usize {
+    let n = g.num_nodes();
+    let mut part_weight = g.part_weights(part, k);
+    let mut total_moves = 0usize;
+
+    for _ in 0..max_passes {
+        let mut moved = 0usize;
+        for v in 0..n as u32 {
+            // Connectivity of v to each part among its neighbours.
+            let mut conn: Vec<(u32, f64)> = Vec::new();
+            for &(u, e) in g.neighbors(v) {
+                let p = part[u as usize];
+                let w = g.edge_weight[e as usize];
+                match conn.iter_mut().find(|(pp, _)| *pp == p) {
+                    Some((_, cw)) => *cw += w,
+                    None => conn.push((p, w)),
+                }
+            }
+            let from = part[v as usize];
+            let own = conn
+                .iter()
+                .find(|(p, _)| *p == from)
+                .map(|&(_, w)| w)
+                .unwrap_or(0.0);
+            let wv = g.node_weight[v as usize];
+            let mut best: Option<(u32, f64)> = None;
+            for &(p, w) in &conn {
+                if p == from {
+                    continue;
+                }
+                if part_weight[p as usize] + wv > max_part_weight {
+                    continue;
+                }
+                let gain = w - own;
+                if gain > 1e-12 && best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((p, gain));
+                }
+            }
+            if let Some((p, _)) = best {
+                part_weight[from as usize] -= wv;
+                part_weight[p as usize] += wv;
+                part[v as usize] = p;
+                moved += 1;
+            }
+        }
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+/// Force every part below `max_part_weight` by evicting nodes from
+/// overweight parts into the lightest feasible part, choosing evictions
+/// with the smallest cut penalty. Used after uncoarsening projection where
+/// coarse nodes can be lumpy. Returns the number of moves.
+pub fn rebalance(g: &WeightedGraph, part: &mut [u32], k: usize, max_part_weight: f64) -> usize {
+    let n = g.num_nodes();
+    let mut part_weight = g.part_weights(part, k);
+    let mut moves = 0usize;
+    // Bounded: each node moves at most a few times.
+    for _round in 0..4 * n {
+        // Heaviest overweight part.
+        let Some((from, _)) = part_weight
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > max_part_weight)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            break;
+        };
+        // Cheapest eviction: node in `from` and target part minimising the
+        // cut increase, target must have room (or be the globally lightest).
+        let mut best: Option<(u32, u32, f64)> = None; // (node, to, penalty)
+        for v in 0..n as u32 {
+            if part[v as usize] as usize != from {
+                continue;
+            }
+            let wv = g.node_weight[v as usize];
+            // Connectivity to each part.
+            let mut conn = vec![0.0f64; k];
+            for &(u, e) in g.neighbors(v) {
+                conn[part[u as usize] as usize] += g.edge_weight[e as usize];
+            }
+            for to in 0..k {
+                if to == from {
+                    continue;
+                }
+                if part_weight[to] + wv > max_part_weight {
+                    continue;
+                }
+                let penalty = conn[from] - conn[to];
+                if best.is_none_or(|(_, _, bp)| penalty < bp) {
+                    best = Some((v, to as u32, penalty));
+                }
+            }
+        }
+        let Some((v, to, _)) = best else { break };
+        let wv = g.node_weight[v as usize];
+        part_weight[from] -= wv;
+        part_weight[to as usize] += wv;
+        part[v as usize] = to;
+        moves += 1;
+    }
+    moves
+}
+
+/// Per-part-cap variant of [`rebalance`]: part `p` must stay below
+/// `caps[p]` (heterogeneous device capacities).
+pub fn rebalance_targets(g: &WeightedGraph, part: &mut [u32], caps: &[f64]) -> usize {
+    let n = g.num_nodes();
+    let k = caps.len();
+    let mut part_weight = g.part_weights(part, k);
+    let mut moves = 0usize;
+    for _round in 0..4 * n {
+        let Some((from, _)) = part_weight
+            .iter()
+            .enumerate()
+            .filter(|&(p, &w)| w > caps[p])
+            .max_by(|a, b| (a.1 / caps[a.0]).total_cmp(&(b.1 / caps[b.0])))
+        else {
+            break;
+        };
+        let mut best: Option<(u32, u32, f64)> = None;
+        for v in 0..n as u32 {
+            if part[v as usize] as usize != from {
+                continue;
+            }
+            let wv = g.node_weight[v as usize];
+            let mut conn = vec![0.0f64; k];
+            for &(u, e) in g.neighbors(v) {
+                conn[part[u as usize] as usize] += g.edge_weight[e as usize];
+            }
+            for to in 0..k {
+                if to == from || part_weight[to] + wv > caps[to] {
+                    continue;
+                }
+                let penalty = conn[from] - conn[to];
+                if best.is_none_or(|(_, _, bp)| penalty < bp) {
+                    best = Some((v, to as u32, penalty));
+                }
+            }
+        }
+        let Some((v, to, _)) = best else { break };
+        let wv = g.node_weight[v as usize];
+        part_weight[from] -= wv;
+        part_weight[to as usize] += wv;
+        part[v as usize] = to;
+        moves += 1;
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_graph;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fm_never_worsens_cut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for seed in 0..5 {
+            let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+            let g = random_graph(60, 120, &mut rng2);
+            let part: Vec<u32> = (0..60).map(|_| rng.gen_range(0..2u32)).collect();
+            let w0 = part
+                .iter()
+                .enumerate()
+                .filter(|(_, &p)| p == 0)
+                .map(|(v, _)| g.node_weight[v])
+                .sum();
+            let cut0 = g.cut_weight(&part);
+            let mut bis = Bisection {
+                part,
+                cut: cut0,
+                weight0: w0,
+            };
+            fm_bisection_refine(&g, &mut bis, 0.5, 0.3, 4);
+            assert!(
+                bis.cut <= cut0 + 1e-9,
+                "cut rose from {cut0} to {}",
+                bis.cut
+            );
+            assert!((g.cut_weight(&bis.part) - bis.cut).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fm_fixes_obviously_bad_split() {
+        // Two triangles joined by a light edge, started with a bad split.
+        let g = WeightedGraph::new(
+            vec![1.0; 6],
+            vec![
+                (0, 1, 10.0),
+                (1, 2, 10.0),
+                (0, 2, 10.0),
+                (3, 4, 10.0),
+                (4, 5, 10.0),
+                (3, 5, 10.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let part = vec![0, 1, 0, 1, 0, 1];
+        let cut0 = g.cut_weight(&part);
+        let mut bis = Bisection {
+            weight0: 3.0,
+            cut: cut0,
+            part,
+        };
+        fm_bisection_refine(&g, &mut bis, 0.5, 0.2, 8);
+        assert!((bis.cut - 1.0).abs() < 1e-9, "cut = {}", bis.cut);
+    }
+
+    #[test]
+    fn kway_refine_respects_balance_cap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_graph(80, 160, &mut rng);
+        let k = 4;
+        let mut part: Vec<u32> = (0..80u32).map(|v| v % k as u32).collect();
+        let cap = g.total_node_weight() / k as f64 * 1.2;
+        let cut0 = g.cut_weight(&part);
+        kway_refine(&g, &mut part, k, cap, 6);
+        let cut1 = g.cut_weight(&part);
+        assert!(cut1 <= cut0 + 1e-9);
+        for w in g.part_weights(&part, k) {
+            assert!(w <= cap + 1e-6, "part weight {w} above cap {cap}");
+        }
+    }
+
+    #[test]
+    fn kway_refine_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_graph(50, 80, &mut rng);
+        let mut part: Vec<u32> = (0..50u32).map(|v| v % 3).collect();
+        // Cap strictly above any reachable weight so the boundary is not
+        // float-sensitive (cap == total is degenerate: incremental weight
+        // accounting can land an epsilon above it).
+        let cap = g.total_node_weight() * 2.0;
+        kway_refine(&g, &mut part, 3, cap, 50);
+        // Re-running from the converged state must make zero moves.
+        let moves = kway_refine(&g, &mut part, 3, cap, 1);
+        assert_eq!(moves, 0);
+    }
+}

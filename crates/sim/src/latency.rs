@@ -1,0 +1,180 @@
+//! End-to-end latency estimation (related-work angle: latency-target
+//! scheduling). Not used by the paper's reward, but a natural companion
+//! metric a production allocator reports.
+//!
+//! Model: a tuple's end-to-end latency along a path is the sum of per-hop
+//! service times. At sustained rate `α·I`:
+//!
+//! * processing at node `v`: `ipt_v / instr_per_sec` scaled by device
+//!   contention `1 / (1 - ρ_d)` (M/M/1-style inflation, capped),
+//! * transmission on a cross-device edge: `payload / BW` inflated by the
+//!   NIC utilisation of the sending device.
+//!
+//! The reported latency is the maximum over all source→sink paths
+//! (critical path), computed by a longest-path pass in topological order.
+
+use crate::analytic::SimResult;
+use spg_graph::{ClusterSpec, NodeId, Placement, StreamGraph};
+
+/// Per-placement latency estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyEstimate {
+    /// Critical-path end-to-end latency in seconds.
+    pub critical_path: f64,
+    /// Sum of pure processing time along the critical path (no queueing).
+    pub service_floor: f64,
+}
+
+/// Utilisation-dependent inflation `1/(1-ρ)`, capped at 50x for saturated
+/// resources (the analytic model pins sustained utilisation at ≤ 1).
+#[inline]
+fn inflation(rho: f64) -> f64 {
+    let rho = rho.clamp(0.0, 0.98);
+    1.0 / (1.0 - rho)
+}
+
+/// Estimate latency for `placement` given a prior analytic simulation
+/// (`sim` must come from the same graph/cluster/placement/rate).
+pub fn estimate_latency(
+    graph: &StreamGraph,
+    cluster: &ClusterSpec,
+    placement: &Placement,
+    sim: &SimResult,
+) -> LatencyEstimate {
+    let cpu_cap = cluster.instr_per_sec();
+    let bw = cluster.link_bytes_per_sec();
+
+    // Sustained utilisations.
+    let cpu_rho: Vec<f64> = sim
+        .cpu_load
+        .iter()
+        .map(|&l| (l * sim.relative / cpu_cap).min(1.0))
+        .collect();
+    let egress_rho: Vec<f64> = sim
+        .egress
+        .iter()
+        .map(|&l| (l * sim.relative / bw).min(1.0))
+        .collect();
+
+    let mut latency = vec![0.0f64; graph.num_nodes()];
+    let mut floor = vec![0.0f64; graph.num_nodes()];
+    let mut critical = 0.0f64;
+    let mut critical_floor = 0.0f64;
+
+    for &v in graph.topo_order() {
+        let v = NodeId(v);
+        let dev = placement.device(v.idx()) as usize;
+        let service = graph.op(v).ipt / cpu_cap;
+        let node_latency = latency[v.idx()] + service * inflation(cpu_rho[dev]);
+        let node_floor = floor[v.idx()] + service;
+
+        if graph.out_degree(v) == 0 {
+            if node_latency > critical {
+                critical = node_latency;
+                critical_floor = node_floor;
+            }
+            continue;
+        }
+        for (w, e) in graph.out_edges(v) {
+            let wdev = placement.device(w.idx()) as usize;
+            let mut hop = node_latency;
+            let mut hop_floor = node_floor;
+            if wdev != dev {
+                let tx = graph.channel(e).payload / bw;
+                hop += tx * inflation(egress_rho[dev]);
+                hop_floor += tx;
+            }
+            if hop > latency[w.idx()] {
+                latency[w.idx()] = hop;
+            }
+            if hop_floor > floor[w.idx()] {
+                floor[w.idx()] = hop_floor;
+            }
+        }
+    }
+
+    LatencyEstimate {
+        critical_path: critical,
+        service_floor: critical_floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::{Channel, Operator, StreamGraphBuilder};
+
+    fn chain() -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(1.25e6)); // 1ms at 1.25e9 instr/s
+        let c = b.add_node(Operator::new(2.5e6)); // 2ms
+        let d = b.add_node(Operator::new(1.25e6)); // 1ms
+        b.add_edge(a, c, Channel::new(125e3)).unwrap(); // 1ms at 125e6 B/s
+        b.add_edge(c, d, Channel::new(125e3)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn colocated_chain_has_no_transmission_latency() {
+        let g = chain();
+        let cluster = ClusterSpec::paper_medium(2);
+        let p = Placement::all_on_one(3);
+        let sim = crate::analytic::simulate(&g, &cluster, &p, 1.0);
+        let lat = estimate_latency(&g, &cluster, &p, &sim);
+        // 1 + 2 + 1 ms of service, negligible contention at rate 1/s.
+        assert!((lat.service_floor - 0.004).abs() < 1e-9, "{lat:?}");
+        assert!(lat.critical_path >= lat.service_floor);
+        assert!(lat.critical_path < 0.005);
+    }
+
+    #[test]
+    fn cross_device_edges_add_transmission_time() {
+        let g = chain();
+        let cluster = ClusterSpec::paper_medium(3);
+        let split = Placement::new(vec![0, 1, 2]);
+        let sim = crate::analytic::simulate(&g, &cluster, &split, 1.0);
+        let lat = estimate_latency(&g, &cluster, &split, &sim);
+        // Adds two 1ms transmissions.
+        assert!((lat.service_floor - 0.006).abs() < 1e-9, "{lat:?}");
+    }
+
+    #[test]
+    fn contention_inflates_latency() {
+        let g = chain();
+        let cluster = ClusterSpec::paper_medium(1);
+        let p = Placement::all_on_one(3);
+        // Saturating rate: total ipt 5e6 per tuple; capacity 1.25e9 -> 250/s.
+        let idle = crate::analytic::simulate(&g, &cluster, &p, 1.0);
+        let busy = crate::analytic::simulate(&g, &cluster, &p, 240.0);
+        let li = estimate_latency(&g, &cluster, &p, &idle);
+        let lb = estimate_latency(&g, &cluster, &p, &busy);
+        assert!(
+            lb.critical_path > li.critical_path * 2.0,
+            "{li:?} vs {lb:?}"
+        );
+        assert!((lb.service_floor - li.service_floor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_takes_the_longer_branch() {
+        // Diamond with one slow branch.
+        let mut b = StreamGraphBuilder::new();
+        let s = b.add_node(Operator::new(1.25e5));
+        let fast = b.add_node(Operator::new(1.25e5));
+        let slow = b.add_node(Operator::new(1.25e8)); // 100ms
+        let k = b.add_node(Operator::new(1.25e5));
+        b.add_edge(s, fast, Channel::new(1.0)).unwrap();
+        b.add_edge(s, slow, Channel::new(1.0)).unwrap();
+        b.add_edge(fast, k, Channel::new(1.0)).unwrap();
+        b.add_edge(slow, k, Channel::new(1.0)).unwrap();
+        let g = b.finish().unwrap();
+        let cluster = ClusterSpec::paper_medium(2);
+        let p = Placement::all_on_one(4);
+        let sim = crate::analytic::simulate(&g, &cluster, &p, 1.0);
+        let lat = estimate_latency(&g, &cluster, &p, &sim);
+        assert!(
+            lat.service_floor > 0.1,
+            "must include the slow branch: {lat:?}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Post-hoc metrics used in the paper's performance analysis (§VI-C):
+//! data saturation distributions of coarsened graphs (Fig. 9) and
+//! device-utilisation summaries (excess-device analysis).
+
+use spg_graph::{ClusterSpec, CoarseGraph};
+
+/// Data saturation rate of every coarse edge: `traffic / BW` (the paper's
+/// `(P · R) / BW` aggregated per coarse edge). Fig. 9 compares the
+/// distribution of these values between Metis coarsening and the learned
+/// coarsening model.
+pub fn coarse_edge_saturations(coarse: &CoarseGraph, cluster: &ClusterSpec) -> Vec<f64> {
+    let bw = cluster.link_bytes_per_sec();
+    coarse.edge_traffic.iter().map(|&t| t / bw).collect()
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise `xs` (empty input gives zeros).
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// Histogram with uniform bins over `[lo, hi)`; values outside clamp into
+/// the edge bins (used for Fig. 7's device-usage histogram and Fig. 9).
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut h = vec![0usize; bins];
+    let w = (hi - lo) / bins as f64;
+    for &x in xs {
+        let b = (((x - lo) / w).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        h[b] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let h = histogram(&[-1.0, 0.1, 0.5, 0.9, 5.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]);
+    }
+
+    #[test]
+    fn saturation_uses_bandwidth() {
+        let coarse = CoarseGraph {
+            node_cpu: vec![1.0, 1.0],
+            members: vec![1, 1],
+            edges: vec![(0, 1)],
+            edge_traffic: vec![125e6],
+            internal_traffic: 0.0,
+        };
+        let cluster = ClusterSpec::paper_medium(2); // BW = 125e6 B/s
+        let sats = coarse_edge_saturations(&coarse, &cluster);
+        assert!((sats[0] - 1.0).abs() < 1e-12);
+    }
+}

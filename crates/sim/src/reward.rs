@@ -1,0 +1,45 @@
+//! The REINFORCE reward of the paper.
+
+use spg_graph::{ClusterSpec, Placement, StreamGraph, TupleRates};
+
+/// The paper's reward: `r(G_y) = T(G_y) / I(G_x) ∈ [0, 1]` — the sustained
+/// throughput relative to the source tuple rate. `r = 1` means no
+/// backpressure (the allocation keeps up with the sources).
+pub fn relative_throughput(
+    graph: &StreamGraph,
+    cluster: &ClusterSpec,
+    placement: &Placement,
+    source_rate: f64,
+) -> f64 {
+    crate::analytic::simulate(graph, cluster, placement, source_rate).relative
+}
+
+/// Same, reusing precomputed rates (hot path inside RL training).
+pub fn relative_throughput_with_rates(
+    graph: &StreamGraph,
+    cluster: &ClusterSpec,
+    placement: &Placement,
+    rates: &TupleRates,
+) -> f64 {
+    crate::analytic::simulate_with_rates(graph, cluster, placement, rates).relative
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg_graph::{Channel, Operator, StreamGraphBuilder};
+
+    #[test]
+    fn reward_is_in_unit_interval() {
+        let mut b = StreamGraphBuilder::new();
+        let s = b.add_node(Operator::new(1e6));
+        let k = b.add_node(Operator::new(1e6));
+        b.add_edge(s, k, Channel::new(1e6)).unwrap();
+        let g = b.finish().unwrap();
+        let cluster = ClusterSpec::paper_medium(2);
+        for p in [Placement::all_on_one(2), Placement::new(vec![0, 1])] {
+            let r = relative_throughput(&g, &cluster, &p, 1e4);
+            assert!((0.0..=1.0).contains(&r), "r = {r}");
+        }
+    }
+}

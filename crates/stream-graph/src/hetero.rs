@@ -1,0 +1,108 @@
+//! Heterogeneous device clusters — the paper's stated future work
+//! ("we plan to extend the proposed model to heterogeneous devices").
+//!
+//! A [`HeteroClusterSpec`] gives every device its own MIPS capacity. The
+//! analytic simulator (`spg-sim::hetero`) and the partitioner's
+//! target-weighted mode consume it; the coarsening model is
+//! capacity-agnostic (it predicts *what to merge*, not *where to place*),
+//! so the same trained model works unchanged — exactly the
+//! generalizability argument of §IV's remark.
+
+use serde::{Deserialize, Serialize};
+
+/// A cluster whose devices differ in compute capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroClusterSpec {
+    /// Per-device capacity in MIPS.
+    pub mips: Vec<f64>,
+    /// Link bandwidth between any two devices, in Mbps (kept uniform; NIC
+    /// heterogeneity composes the same way if needed).
+    pub link_mbps: f64,
+}
+
+impl HeteroClusterSpec {
+    /// Build from per-device MIPS.
+    pub fn new(mips: Vec<f64>, link_mbps: f64) -> Self {
+        assert!(!mips.is_empty(), "cluster must have at least one device");
+        assert!(mips.iter().all(|&m| m > 0.0) && link_mbps > 0.0);
+        Self { mips, link_mbps }
+    }
+
+    /// A homogeneous cluster expressed in the heterogeneous form.
+    pub fn homogeneous(cluster: &crate::ClusterSpec) -> Self {
+        Self::new(vec![cluster.mips; cluster.devices], cluster.link_mbps)
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.mips.len()
+    }
+
+    /// Capacity of device `d` in instructions/second.
+    pub fn instr_per_sec(&self, d: usize) -> f64 {
+        self.mips[d] * 1e6
+    }
+
+    /// Total capacity in instructions/second.
+    pub fn total_instr_per_sec(&self) -> f64 {
+        self.mips.iter().sum::<f64>() * 1e6
+    }
+
+    /// Link bandwidth in bytes/second.
+    pub fn link_bytes_per_sec(&self) -> f64 {
+        self.link_mbps * 1e6 / 8.0
+    }
+
+    /// Capacity share of each device (sums to 1) — the partitioner's
+    /// target weights.
+    pub fn capacity_shares(&self) -> Vec<f64> {
+        let total: f64 = self.mips.iter().sum();
+        self.mips.iter().map(|m| m / total).collect()
+    }
+
+    /// The homogeneous [`crate::ClusterSpec`] with the same *total*
+    /// capacity (used to reuse homogeneous-trained models on
+    /// heterogeneous clusters).
+    pub fn equivalent_homogeneous(&self) -> crate::ClusterSpec {
+        crate::ClusterSpec::new(
+            self.devices(),
+            self.mips.iter().sum::<f64>() / self.devices() as f64,
+            self.link_mbps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterSpec;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let h = HeteroClusterSpec::new(vec![1000.0, 3000.0], 1000.0);
+        let s = h.capacity_shares();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_roundtrip() {
+        let c = ClusterSpec::paper_medium(4);
+        let h = HeteroClusterSpec::homogeneous(&c);
+        assert_eq!(h.devices(), 4);
+        assert_eq!(h.equivalent_homogeneous(), c);
+    }
+
+    #[test]
+    fn totals() {
+        let h = HeteroClusterSpec::new(vec![1000.0, 2000.0], 800.0);
+        assert!((h.total_instr_per_sec() - 3e9).abs() < 1.0);
+        assert!((h.link_bytes_per_sec() - 1e8).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_panics() {
+        HeteroClusterSpec::new(vec![], 100.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Device placements (the output of every allocator).
+
+use crate::graph::StreamGraph;
+use serde::{Deserialize, Serialize};
+
+/// An assignment of every operator to a device: `device_of[v]` is the device
+/// id of node `v`. Device ids are `0..cluster.devices`; a placement may use
+/// only a subset of the available devices (the excess-device setting of the
+/// paper depends on this).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    device_of: Vec<u32>,
+}
+
+impl Placement {
+    /// Wrap a raw assignment vector.
+    pub fn new(device_of: Vec<u32>) -> Self {
+        Self { device_of }
+    }
+
+    /// All nodes on device 0.
+    pub fn all_on_one(num_nodes: usize) -> Self {
+        Self {
+            device_of: vec![0; num_nodes],
+        }
+    }
+
+    /// Number of placed nodes.
+    pub fn len(&self) -> usize {
+        self.device_of.len()
+    }
+
+    /// True when no nodes are placed.
+    pub fn is_empty(&self) -> bool {
+        self.device_of.is_empty()
+    }
+
+    /// Device of node `v`.
+    #[inline]
+    pub fn device(&self, v: usize) -> u32 {
+        self.device_of[v]
+    }
+
+    /// The raw assignment slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.device_of
+    }
+
+    /// Highest device id referenced plus one (0 for an empty placement).
+    pub fn max_device_bound(&self) -> usize {
+        self.device_of
+            .iter()
+            .map(|&d| d as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of *distinct* devices actually used.
+    pub fn devices_used(&self) -> usize {
+        let bound = self.max_device_bound();
+        let mut seen = vec![false; bound];
+        for &d in &self.device_of {
+            seen[d as usize] = true;
+        }
+        seen.into_iter().filter(|&s| s).count()
+    }
+
+    /// Lift a placement of a coarse graph back to the original graph via the
+    /// node map produced by a [`crate::Coarsening`]: original node `v` goes
+    /// where its coarse node went.
+    pub fn lift(coarse: &Placement, node_map: &[u32]) -> Self {
+        let device_of = node_map
+            .iter()
+            .map(|&c| coarse.device(c as usize))
+            .collect();
+        Self { device_of }
+    }
+
+    /// Number of edges whose endpoints sit on different devices (the cut).
+    pub fn cut_edges(&self, graph: &StreamGraph) -> usize {
+        graph
+            .edge_list()
+            .iter()
+            .filter(|&&(s, d)| self.device_of[s as usize] != self.device_of[d as usize])
+            .count()
+    }
+
+    /// Validate against a graph and device count.
+    pub fn validate(&self, graph: &StreamGraph, devices: usize) -> bool {
+        self.device_of.len() == graph.num_nodes()
+            && self.device_of.iter().all(|&d| (d as usize) < devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Channel, Operator, StreamGraphBuilder};
+
+    fn path3() -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let n0 = b.add_node(Operator::new(1.0));
+        let n1 = b.add_node(Operator::new(1.0));
+        let n2 = b.add_node(Operator::new(1.0));
+        b.add_edge(n0, n1, Channel::new(1.0)).unwrap();
+        b.add_edge(n1, n2, Channel::new(1.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn cut_edges_counts_cross_device_edges() {
+        let g = path3();
+        assert_eq!(Placement::new(vec![0, 0, 0]).cut_edges(&g), 0);
+        assert_eq!(Placement::new(vec![0, 0, 1]).cut_edges(&g), 1);
+        assert_eq!(Placement::new(vec![0, 1, 0]).cut_edges(&g), 2);
+    }
+
+    #[test]
+    fn devices_used_ignores_gaps() {
+        let p = Placement::new(vec![0, 5, 5, 0]);
+        assert_eq!(p.devices_used(), 2);
+        assert_eq!(p.max_device_bound(), 6);
+    }
+
+    #[test]
+    fn lift_follows_node_map() {
+        let coarse = Placement::new(vec![3, 7]);
+        let node_map = [0u32, 0, 1, 1, 0];
+        let lifted = Placement::lift(&coarse, &node_map);
+        assert_eq!(lifted.as_slice(), &[3, 3, 7, 7, 3]);
+    }
+
+    #[test]
+    fn validate_checks_len_and_range() {
+        let g = path3();
+        assert!(Placement::new(vec![0, 1, 2]).validate(&g, 3));
+        assert!(!Placement::new(vec![0, 1]).validate(&g, 3));
+        assert!(!Placement::new(vec![0, 1, 3]).validate(&g, 3));
+    }
+}

@@ -1,0 +1,146 @@
+//! Steady-state tuple rates.
+//!
+//! Given a source rate `I` (tuples/second entering every source operator),
+//! the per-node and per-edge rates follow from the topology by one pass in
+//! topological order: each operator forwards its output on every outgoing
+//! edge scaled by the edge's selectivity, and an operator's input rate is the
+//! sum of its incoming edge rates.
+//!
+//! All downstream load models (CPU demand `R_v * ipt_v`, edge traffic
+//! `R_e * payload_e`) are linear in `I`, which is what makes the analytic
+//! bottleneck throughput in `spg-sim` exact.
+
+use crate::graph::{NodeId, StreamGraph};
+use serde::{Deserialize, Serialize};
+
+/// Per-node and per-edge steady-state tuple rates for a given source rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TupleRates {
+    /// Source rate `I` the rates were computed for.
+    pub source_rate: f64,
+    /// Tuples/second processed by each node.
+    pub node: Vec<f64>,
+    /// Tuples/second flowing on each edge.
+    pub edge: Vec<f64>,
+}
+
+impl TupleRates {
+    /// Compute rates for `graph` at `source_rate`.
+    pub fn compute(graph: &StreamGraph, source_rate: f64) -> Self {
+        assert!(source_rate >= 0.0, "source rate must be non-negative");
+        let n = graph.num_nodes();
+        let mut node = vec![0.0f64; n];
+        let mut edge = vec![0.0f64; graph.num_edges()];
+        for &v in graph.topo_order() {
+            let v = NodeId(v);
+            if graph.in_degree(v) == 0 {
+                node[v.idx()] = source_rate;
+            }
+            let r = node[v.idx()];
+            for (w, e) in graph.out_edges(v) {
+                let ch = graph.channel(e);
+                let re = r * ch.selectivity;
+                edge[e.idx()] = re;
+                node[w.idx()] += re;
+            }
+        }
+        Self {
+            source_rate,
+            node,
+            edge,
+        }
+    }
+
+    /// CPU demand of each node in instructions/second: `R_v * ipt_v`.
+    pub fn cpu_demand(&self, graph: &StreamGraph) -> Vec<f64> {
+        graph
+            .ops()
+            .iter()
+            .zip(&self.node)
+            .map(|(op, &r)| op.ipt * r)
+            .collect()
+    }
+
+    /// Traffic of each edge in bytes/second: `R_e * payload_e`.
+    pub fn edge_traffic(&self, graph: &StreamGraph) -> Vec<f64> {
+        graph
+            .channels()
+            .iter()
+            .zip(&self.edge)
+            .map(|(ch, &r)| ch.payload * r)
+            .collect()
+    }
+
+    /// Total CPU demand of the whole graph (instructions/second).
+    pub fn total_cpu_demand(&self, graph: &StreamGraph) -> f64 {
+        self.cpu_demand(graph).iter().sum()
+    }
+
+    /// Total traffic over all edges (bytes/second) — an upper bound on
+    /// network load reached only when every edge crosses devices.
+    pub fn total_edge_traffic(&self, graph: &StreamGraph) -> f64 {
+        self.edge_traffic(graph).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Channel, Operator, StreamGraphBuilder};
+
+    fn chain(selectivities: &[f64]) -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let mut prev = b.add_node(Operator::new(1.0));
+        for &s in selectivities {
+            let next = b.add_node(Operator::new(1.0));
+            b.add_edge(prev, next, Channel::with_selectivity(10.0, s))
+                .unwrap();
+            prev = next;
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_rates_multiply_selectivities() {
+        let g = chain(&[0.5, 0.4]);
+        let r = TupleRates::compute(&g, 1000.0);
+        assert_eq!(r.node, vec![1000.0, 500.0, 200.0]);
+        assert_eq!(r.edge, vec![500.0, 200.0]);
+    }
+
+    #[test]
+    fn fan_in_sums() {
+        // 0 -> 2, 1 -> 2 with two sources
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(1.0));
+        let c = b.add_node(Operator::new(1.0));
+        let m = b.add_node(Operator::new(2.0));
+        b.add_edge(a, m, Channel::new(4.0)).unwrap();
+        b.add_edge(c, m, Channel::new(4.0)).unwrap();
+        let g = b.finish().unwrap();
+        let r = TupleRates::compute(&g, 100.0);
+        assert_eq!(r.node[m.idx()], 200.0);
+        let cpu = r.cpu_demand(&g);
+        assert_eq!(cpu[m.idx()], 400.0);
+        let traffic = r.edge_traffic(&g);
+        assert_eq!(traffic, vec![400.0, 400.0]);
+    }
+
+    #[test]
+    fn zero_rate_is_all_zero() {
+        let g = chain(&[1.0, 1.0]);
+        let r = TupleRates::compute(&g, 0.0);
+        assert!(r.node.iter().all(|&x| x == 0.0));
+        assert!(r.edge.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rates_scale_linearly() {
+        let g = chain(&[0.7, 1.3]);
+        let r1 = TupleRates::compute(&g, 100.0);
+        let r2 = TupleRates::compute(&g, 200.0);
+        for (a, b) in r1.node.iter().zip(&r2.node) {
+            assert!((b - 2.0 * a).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Dataset (de)serialisation.
+//!
+//! Datasets are stored as JSON (one file per dataset) so experiments are
+//! reproducible byte-for-byte across runs without regenerating graphs.
+
+use crate::cluster::ClusterSpec;
+use crate::graph::StreamGraph;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// A persisted dataset: graphs plus the environment they were generated for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `medium-100-200`).
+    pub name: String,
+    /// Cluster environment of the setting.
+    pub cluster: ClusterSpec,
+    /// Source tuple rate of the setting (tuples/second).
+    pub source_rate: f64,
+    /// Graphs in the dataset.
+    pub graphs: Vec<StreamGraph>,
+}
+
+impl Dataset {
+    /// Write as JSON to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = BufWriter::new(file);
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        w.write_all(json.as_bytes())?;
+        w.flush()
+    }
+
+    /// Read a JSON dataset from `path`.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut buf = String::new();
+        r.read_to_string(&mut buf)?;
+        serde_json::from_str(&buf).map_err(std::io::Error::other)
+    }
+
+    /// Split into `(train, test)` taking the last `test_len` graphs as test,
+    /// mirroring the paper's 300-graph test split.
+    pub fn split(mut self, test_len: usize) -> (Dataset, Dataset) {
+        let test_len = test_len.min(self.graphs.len());
+        let test_graphs = self.graphs.split_off(self.graphs.len() - test_len);
+        let test = Dataset {
+            name: format!("{}-test", self.name),
+            cluster: self.cluster,
+            source_rate: self.source_rate,
+            graphs: test_graphs,
+        };
+        self.name = format!("{}-train", self.name);
+        (self, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Channel, Operator, StreamGraphBuilder};
+
+    fn tiny_graph(seed: f64) -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(seed));
+        let c = b.add_node(Operator::new(seed * 2.0));
+        b.add_edge(a, c, Channel::new(8.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let ds = Dataset {
+            name: "t".into(),
+            cluster: ClusterSpec::paper_medium(5),
+            source_rate: 1e4,
+            graphs: vec![tiny_graph(1.0), tiny_graph(2.0)],
+        };
+        let dir = std::env::temp_dir().join("spg-serialize-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(back.name, "t");
+        assert_eq!(back.graphs, ds.graphs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn split_takes_tail() {
+        let ds = Dataset {
+            name: "t".into(),
+            cluster: ClusterSpec::paper_medium(5),
+            source_rate: 1e4,
+            graphs: vec![tiny_graph(1.0), tiny_graph(2.0), tiny_graph(3.0)],
+        };
+        let (train, test) = ds.split(1);
+        assert_eq!(train.graphs.len(), 2);
+        assert_eq!(test.graphs.len(), 1);
+        assert_eq!(test.graphs[0].op(crate::NodeId(0)).ipt, 3.0);
+    }
+
+    #[test]
+    fn split_caps_at_len() {
+        let ds = Dataset {
+            name: "t".into(),
+            cluster: ClusterSpec::paper_medium(5),
+            source_rate: 1e4,
+            graphs: vec![tiny_graph(1.0)],
+        };
+        let (train, test) = ds.split(10);
+        assert_eq!(train.graphs.len(), 0);
+        assert_eq!(test.graphs.len(), 1);
+    }
+}

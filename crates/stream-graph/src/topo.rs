@@ -1,0 +1,96 @@
+//! Topological ordering / cycle detection (Kahn's algorithm).
+
+/// Return a topological order of `0..n` under `edges`, or `None` if the
+/// graph contains a directed cycle.
+pub fn topological_order(n: usize, edges: &[(u32, u32)]) -> Option<Vec<u32>> {
+    let mut indeg = vec![0u32; n];
+    let mut adj_count = vec![0u32; n + 1];
+    for &(s, d) in edges {
+        indeg[d as usize] += 1;
+        adj_count[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        adj_count[i + 1] += adj_count[i];
+    }
+    let mut cursor = adj_count.clone();
+    let mut adj = vec![0u32; edges.len()];
+    for &(s, d) in edges {
+        adj[cursor[s as usize] as usize] = d;
+        cursor[s as usize] += 1;
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    // Process as a FIFO for a BFS-like "wavefront" order (sources first).
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        let lo = adj_count[v as usize] as usize;
+        let hi = adj_count[v as usize + 1] as usize;
+        for &w in &adj[lo..hi] {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Longest path length (in edges) from any source to each node; the "depth"
+/// of a node in the dataflow. Panics if `order` is not a valid topological
+/// order of the edges.
+pub fn depths(n: usize, edges: &[(u32, u32)], order: &[u32]) -> Vec<u32> {
+    let mut depth = vec![0u32; n];
+    let mut pos = vec![u32::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    // Iterate edges grouped by topological position of the source.
+    let mut edges_by_pos: Vec<(u32, u32)> = edges.to_vec();
+    edges_by_pos.sort_unstable_by_key(|&(s, _)| pos[s as usize]);
+    for &(s, d) in &edges_by_pos {
+        assert!(
+            pos[s.max(d) as usize] != u32::MAX,
+            "order must cover all nodes"
+        );
+        assert!(
+            pos[s as usize] < pos[d as usize],
+            "order must be topological"
+        );
+        depth[d as usize] = depth[d as usize].max(depth[s as usize] + 1);
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_chain() {
+        let order = topological_order(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        assert!(topological_order(2, &[(0, 1), (1, 0)]).is_none());
+    }
+
+    #[test]
+    fn handles_disconnected() {
+        let order = topological_order(4, &[(2, 3)]).unwrap();
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn depths_of_diamond() {
+        let edges = [(0, 1), (0, 2), (1, 3), (2, 3)];
+        let order = topological_order(4, &edges).unwrap();
+        let d = depths(4, &edges, &order);
+        assert_eq!(d, vec![0, 1, 1, 2]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Union-find (disjoint set union) with path halving and union by size.
+//!
+//! Used to contract collapsed edges into coarse nodes.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Compress into a dense labelling `element -> 0..num_sets`, stable in
+    /// the order representatives are first encountered.
+    pub fn dense_labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut label = vec![u32::MAX; n];
+        let mut out = vec![0u32; n];
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if label[r as usize] == u32::MAX {
+                label[r as usize] = next;
+                next += 1;
+            }
+            out[x as usize] = label[r as usize];
+        }
+        (out, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(0), 2);
+    }
+
+    #[test]
+    fn dense_labels_are_stable_and_dense() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(1, 2);
+        let (labels, k) = uf.dense_labels();
+        assert_eq!(k, 4);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_eq!(labels[0], 0); // first encountered keeps first label
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        assert_eq!(uf.num_sets(), 1);
+        assert_eq!(uf.set_size(3), 4);
+    }
+}

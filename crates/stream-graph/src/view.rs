@@ -1,0 +1,158 @@
+//! A minimal topology view shared by learned models.
+//!
+//! The GNN encoders only need node/edge counts and the directed edge list.
+//! Both [`crate::StreamGraph`] (for direct placement baselines) and
+//! [`crate::CoarseGraph`] (for placing coarsened graphs, which may contain
+//! directed cycles) provide this view.
+
+use crate::cluster::ClusterSpec;
+use crate::coarsen::CoarseGraph;
+use crate::features::{EdgeFeatures, GraphFeatures, NodeFeatures, EDGE_FEATURES, NODE_FEATURES};
+use crate::graph::StreamGraph;
+
+/// Borrowed topology: node count plus directed edges.
+#[derive(Debug, Clone, Copy)]
+pub struct TopoView<'a> {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: &'a [(u32, u32)],
+}
+
+impl StreamGraph {
+    /// Topology view of this graph.
+    pub fn topo_view(&self) -> TopoView<'_> {
+        TopoView {
+            num_nodes: self.num_nodes(),
+            edges: self.edge_list(),
+        }
+    }
+}
+
+impl CoarseGraph {
+    /// Topology view of this coarse graph.
+    pub fn topo_view(&self) -> TopoView<'_> {
+        TopoView {
+            num_nodes: self.num_nodes(),
+            edges: &self.edges,
+        }
+    }
+}
+
+impl GraphFeatures {
+    /// Features of a coarse graph under `cluster` — the same layout as
+    /// [`GraphFeatures::extract`] so learned placers can run on coarse
+    /// graphs: CPU utilisation, outgoing traffic saturation, degrees,
+    /// source flag; depth is undefined on possibly-cyclic coarse graphs
+    /// and set to a neutral 0.5.
+    pub fn from_coarse(coarse: &CoarseGraph, cluster: &ClusterSpec) -> Self {
+        let n = coarse.num_nodes();
+        let m = coarse.num_edges();
+        let cap = cluster.instr_per_sec();
+        let bw = cluster.link_bytes_per_sec();
+
+        let mut in_deg = vec![0usize; n];
+        let mut out_deg = vec![0usize; n];
+        let mut out_traffic = vec![0.0f64; n];
+        for (i, &(s, d)) in coarse.edges.iter().enumerate() {
+            out_deg[s as usize] += 1;
+            in_deg[d as usize] += 1;
+            out_traffic[s as usize] += coarse.edge_traffic[i];
+        }
+
+        let mut node = Vec::with_capacity(n * NODE_FEATURES);
+        for v in 0..n {
+            node.push((coarse.node_cpu[v] / cap) as f32);
+            node.push((out_traffic[v] / bw) as f32);
+            node.push(((1 + in_deg[v]) as f32).ln());
+            node.push(((1 + out_deg[v]) as f32).ln());
+            node.push(if in_deg[v] == 0 { 1.0 } else { 0.0 });
+            node.push(0.5);
+        }
+
+        let mut edge = Vec::with_capacity(m * EDGE_FEATURES);
+        for (i, &(s, _)) in coarse.edges.iter().enumerate() {
+            let traffic = coarse.edge_traffic[i];
+            let sat = traffic / bw;
+            edge.push(sat as f32);
+            edge.push((1.0 + sat).ln() as f32);
+            // No tuple-rate notion on coarse edges; reuse saturation scale.
+            edge.push(sat.min(1.0) as f32);
+            let src_out = out_traffic[s as usize];
+            edge.push(if src_out > 0.0 {
+                (traffic / src_out) as f32
+            } else {
+                0.0
+            });
+        }
+
+        Self {
+            node: NodeFeatures(node),
+            edge: EdgeFeatures(edge),
+            num_nodes: n,
+            num_edges: m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coarsen::Coarsening;
+    use crate::graph::{Channel, Operator, StreamGraphBuilder};
+    use crate::rates::TupleRates;
+
+    fn diamond() -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let n0 = b.add_node(Operator::new(10.0));
+        let n1 = b.add_node(Operator::new(20.0));
+        let n2 = b.add_node(Operator::new(30.0));
+        let n3 = b.add_node(Operator::new(40.0));
+        b.add_edge(n0, n1, Channel::new(8.0)).unwrap();
+        b.add_edge(n0, n2, Channel::new(8.0)).unwrap();
+        b.add_edge(n1, n3, Channel::new(4.0)).unwrap();
+        b.add_edge(n2, n3, Channel::new(4.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn stream_view_matches_graph() {
+        let g = diamond();
+        let v = g.topo_view();
+        assert_eq!(v.num_nodes, 4);
+        assert_eq!(v.edges.len(), 4);
+    }
+
+    #[test]
+    fn coarse_view_and_features() {
+        let g = diamond();
+        let rates = TupleRates::compute(&g, 100.0);
+        let c = Coarsening::from_collapse(&g, &rates, &[true, false, false, false], None, None);
+        let view = c.coarse.topo_view();
+        assert_eq!(view.num_nodes, 3);
+        let cluster = ClusterSpec::paper_medium(2);
+        let f = GraphFeatures::from_coarse(&c.coarse, &cluster);
+        assert_eq!(f.num_nodes, 3);
+        assert_eq!(f.node.0.len(), 3 * NODE_FEATURES);
+        assert_eq!(f.edge.0.len(), view.edges.len() * EDGE_FEATURES);
+        assert!(f.node.0.iter().all(|x| x.is_finite()));
+        assert!(f.edge.0.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn coarse_features_identity_match_scale_of_stream_features() {
+        // For the identity coarsening, CPU utilisation features must agree
+        // with the stream-graph extractor.
+        let g = diamond();
+        let cluster = ClusterSpec::paper_medium(2);
+        let rates = TupleRates::compute(&g, 100.0);
+        let ident = Coarsening::identity(&g, &rates);
+        let cf = GraphFeatures::from_coarse(&ident.coarse, &cluster);
+        let sf = GraphFeatures::extract_with_rates(&g, &cluster, &rates);
+        for v in 0..4 {
+            let a = cf.node.0[v * NODE_FEATURES];
+            let b = sf.node.0[v * NODE_FEATURES];
+            assert!((a - b).abs() < 1e-6, "cpu feature mismatch at node {v}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The undirected weighted view of a stream graph used by partitioners.
+//!
+//! A partitioner balances *CPU load* (node weight) while minimising *traffic
+//! cut* (edge weight). Both are rate-dependent, so the conversion from a
+//! [`StreamGraph`] takes the source rate. Anti-parallel directed edges are
+//! merged into one undirected edge with summed traffic.
+
+use crate::graph::StreamGraph;
+use crate::rates::TupleRates;
+use serde::{Deserialize, Serialize};
+
+/// An undirected weighted graph (adjacency-list form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedGraph {
+    /// Node weights (CPU demand, instructions/second).
+    pub node_weight: Vec<f64>,
+    /// Unique undirected edges as `(u, v)` with `u < v`.
+    pub edges: Vec<(u32, u32)>,
+    /// Edge weights (traffic, bytes/second), parallel to `edges`.
+    pub edge_weight: Vec<f64>,
+    /// Adjacency: for each node, `(neighbor, edge index)` pairs.
+    adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl WeightedGraph {
+    /// Build from explicit parts; merges duplicate undirected edges by
+    /// summing weights and drops self-loops (they never affect a cut).
+    pub fn new(
+        node_weight: Vec<f64>,
+        raw_edges: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let n = node_weight.len();
+        let mut merged: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        for (a, b, w) in raw_edges {
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            *merged.entry(key).or_insert(0.0) += w;
+        }
+        let mut edges: Vec<(u32, u32)> = merged.keys().copied().collect();
+        edges.sort_unstable();
+        let edge_weight: Vec<f64> = edges.iter().map(|k| merged[k]).collect();
+        let mut adj = vec![Vec::new(); n];
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            adj[a as usize].push((b, i as u32));
+            adj[b as usize].push((a, i as u32));
+        }
+        Self {
+            node_weight,
+            edges,
+            edge_weight,
+            adj,
+        }
+    }
+
+    /// Convert a stream graph at a given source rate: node weight = CPU
+    /// demand `R_v * ipt_v`, edge weight = traffic `R_e * payload_e`.
+    pub fn from_stream(graph: &StreamGraph, source_rate: f64) -> Self {
+        let rates = TupleRates::compute(graph, source_rate);
+        Self::from_stream_with_rates(graph, &rates)
+    }
+
+    /// Same as [`Self::from_stream`] but reusing precomputed rates.
+    pub fn from_stream_with_rates(graph: &StreamGraph, rates: &TupleRates) -> Self {
+        let node_weight = rates.cpu_demand(graph);
+        let traffic = rates.edge_traffic(graph);
+        let raw = graph
+            .edge_list()
+            .iter()
+            .zip(traffic)
+            .map(|(&(s, d), w)| (s, d, w));
+        Self::new(node_weight, raw)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_weight.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `(neighbor, edge index)` pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[(u32, u32)] {
+        &self.adj[v as usize]
+    }
+
+    /// Total node weight.
+    pub fn total_node_weight(&self) -> f64 {
+        self.node_weight.iter().sum()
+    }
+
+    /// Total edge weight.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edge_weight.iter().sum()
+    }
+
+    /// Weight of the cut induced by `part` (sum of weights of edges whose
+    /// endpoints have different labels).
+    pub fn cut_weight(&self, part: &[u32]) -> f64 {
+        self.edges
+            .iter()
+            .zip(&self.edge_weight)
+            .filter(|(&(a, b), _)| part[a as usize] != part[b as usize])
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Per-part node-weight sums for a labelling into `k` parts.
+    pub fn part_weights(&self, part: &[u32], k: usize) -> Vec<f64> {
+        let mut w = vec![0.0; k];
+        for (v, &p) in part.iter().enumerate() {
+            w[p as usize] += self.node_weight[v];
+        }
+        w
+    }
+
+    /// Contract nodes according to `node_map` (node -> coarse id, dense in
+    /// `0..k`). Coarse node weight is the sum of member weights; coarse edges
+    /// aggregate inter-group weights; intra-group edges disappear.
+    pub fn contract(&self, node_map: &[u32], k: usize) -> WeightedGraph {
+        assert_eq!(node_map.len(), self.num_nodes());
+        let mut node_weight = vec![0.0; k];
+        for (v, &c) in node_map.iter().enumerate() {
+            node_weight[c as usize] += self.node_weight[v];
+        }
+        let raw = self
+            .edges
+            .iter()
+            .zip(&self.edge_weight)
+            .map(|(&(a, b), &w)| (node_map[a as usize], node_map[b as usize], w));
+        WeightedGraph::new(node_weight, raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Channel, Operator, StreamGraphBuilder};
+
+    #[test]
+    fn merges_duplicate_and_antiparallel_edges() {
+        let g = WeightedGraph::new(vec![1.0; 3], vec![(0, 1, 2.0), (1, 0, 3.0), (1, 2, 1.0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges[0], (0, 1));
+        assert!((g.edge_weight[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let g = WeightedGraph::new(vec![1.0; 2], vec![(0, 0, 9.0), (0, 1, 1.0)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn cut_weight_and_part_weights() {
+        let g = WeightedGraph::new(vec![1.0, 2.0, 3.0], vec![(0, 1, 5.0), (1, 2, 7.0)]);
+        let part = [0u32, 0, 1];
+        assert!((g.cut_weight(&part) - 7.0).abs() < 1e-12);
+        assert_eq!(g.part_weights(&part, 2), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn from_stream_uses_rates() {
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(2.0));
+        let c = b.add_node(Operator::new(3.0));
+        b.add_edge(a, c, Channel::new(10.0)).unwrap();
+        let g = b.finish().unwrap();
+        let w = WeightedGraph::from_stream(&g, 100.0);
+        assert_eq!(w.node_weight, vec![200.0, 300.0]);
+        assert_eq!(w.edge_weight, vec![1000.0]);
+    }
+
+    #[test]
+    fn contract_aggregates() {
+        let g = WeightedGraph::new(
+            vec![1.0, 2.0, 4.0, 8.0],
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 4.0), (0, 3, 8.0)],
+        );
+        // Groups {0,1} and {2,3}
+        let c = g.contract(&[0, 0, 1, 1], 2);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.node_weight, vec![3.0, 12.0]);
+        assert_eq!(c.num_edges(), 1);
+        assert!((c.edge_weight[0] - 10.0).abs() < 1e-12); // 2.0 + 8.0 cross edges
+    }
+}

@@ -1,0 +1,78 @@
+//! The full training recipe of the paper (§IV-C): curriculum over graph
+//! sizes with Metis-guided buffer seeding, then transfer to larger unseen
+//! graphs.
+//!
+//! Run with `cargo run --release --example curriculum_training`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::Allocator;
+use spg::model::curriculum::{train_curriculum, CurriculumLevel};
+use spg::model::pipeline::MetisCoarsePlacer;
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, TrainOptions};
+use spg::partition::MetisAllocator;
+
+fn level(setting: Setting, graphs: usize, epochs: usize, seed: u64) -> CurriculumLevel {
+    let spec = DatasetSpec::scaled_down(setting);
+    CurriculumLevel {
+        name: spec.name.clone(),
+        graphs: (0..graphs as u64)
+            .map(|s| spg::gen::generate_graph(&spec, seed + s))
+            .collect(),
+        cluster: spec.cluster(),
+        source_rate: spec.source_rate,
+        epochs,
+    }
+}
+
+fn main() {
+    // Levels: small -> medium -> large (scaled-down sizes; set the paper's
+    // node ranges via DatasetSpec::for_setting for a full run).
+    let levels = vec![
+        level(Setting::Small, 10, 5, 0),
+        level(Setting::Medium, 8, 3, 100),
+        level(Setting::Large, 6, 2, 200),
+    ];
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let placer = MetisCoarsePlacer::new(2);
+    let options = TrainOptions {
+        metis_guided: true,
+        ..Default::default()
+    };
+
+    println!("training through {} curriculum levels...", levels.len());
+    let (model, history) = train_curriculum(model, &placer, &levels, &options);
+    for level_stats in &history {
+        print!("level {:<12}", level_stats.name);
+        for (e, s) in level_stats.epochs.iter().enumerate() {
+            print!(" e{e}: r={:.3}/best={:.3}", s.mean_reward, s.mean_best);
+        }
+        println!();
+    }
+
+    // Transfer: evaluate on x-large graphs the model never saw.
+    let xspec = DatasetSpec::scaled_down(Setting::XLarge);
+    let test = spg::gen::generate_dataset(&xspec, 6, 12345);
+    let ours = CoarsenAllocator::new(model, MetisCoarsePlacer::new(3));
+    let metis = MetisAllocator::new(4);
+
+    println!(
+        "\ntransfer to unseen x-large graphs ({} devices):",
+        xspec.devices
+    );
+    let our_result = spg::eval::evaluate_allocator(&ours as &dyn Allocator, &test);
+    let metis_result = spg::eval::evaluate_allocator(&metis as &dyn Allocator, &test);
+    println!(
+        "  Coarsen+Metis  AUC {:.0}  mean throughput {:.0}/s",
+        our_result.auc(),
+        our_result.mean_throughput()
+    );
+    println!(
+        "  Metis          AUC {:.0}  mean throughput {:.0}/s",
+        metis_result.auc(),
+        metis_result.mean_throughput()
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: build a stream graph, train the coarsening model on a few
+//! synthetic graphs, and allocate the graph onto a cluster.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::graph::{Allocator, Channel, ClusterSpec, Operator, StreamGraphBuilder};
+use spg::model::pipeline::MetisCoarsePlacer;
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+
+fn main() {
+    // ---- 1. Describe a stream application as a DAG ---------------------
+    // A little log-analytics pipeline: a source fans out to two parsers,
+    // which feed an aggregator and a sink.
+    let mut b = StreamGraphBuilder::new();
+    let source = b.add_node(Operator::new(2_000.0)); // instructions per tuple
+    let parse_a = b.add_node(Operator::new(60_000.0));
+    let parse_b = b.add_node(Operator::new(45_000.0));
+    let aggregate = b.add_node(Operator::new(30_000.0));
+    let sink = b.add_node(Operator::new(5_000.0));
+    b.add_edge(source, parse_a, Channel::with_selectivity(512.0, 0.5))
+        .unwrap();
+    b.add_edge(source, parse_b, Channel::with_selectivity(512.0, 0.5))
+        .unwrap();
+    b.add_edge(parse_a, aggregate, Channel::new(128.0)).unwrap();
+    b.add_edge(parse_b, aggregate, Channel::new(128.0)).unwrap();
+    b.add_edge(aggregate, sink, Channel::new(64.0)).unwrap();
+    let app = b.finish().expect("valid DAG");
+
+    // ---- 2. Describe the cluster and the load --------------------------
+    let cluster = ClusterSpec::new(4, 1.25e3 /* MIPS */, 1000.0 /* Mbps */);
+    let source_rate = 10_000.0; // tuples per second
+
+    // ---- 3. Train the coarsening model on synthetic graphs -------------
+    // (in a real deployment you would train once, offline, on a corpus of
+    // graphs resembling your workloads; see the `curriculum_training`
+    // example for the full recipe).
+    let spec = spg::gen::DatasetSpec::scaled_down(spg::gen::Setting::Small);
+    let train_graphs: Vec<_> = (0..8u64)
+        .map(|s| spg::gen::generate_graph(&spec, s))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut trainer = ReinforceTrainer::new(
+        model,
+        MetisCoarsePlacer::new(1),
+        train_graphs,
+        spec.cluster(),
+        spec.source_rate,
+        TrainOptions::default(),
+    );
+    for epoch in 0..4 {
+        let stats = trainer.train_epoch();
+        println!(
+            "epoch {epoch}: mean on-policy reward {:.3}, best-in-buffer {:.3}",
+            stats.mean_reward, stats.mean_best
+        );
+    }
+
+    // ---- 4. Allocate the application ------------------------------------
+    let allocator = CoarsenAllocator::new(trainer.into_model(), MetisCoarsePlacer::new(2));
+    let placement = allocator.allocate(&app, &cluster, source_rate);
+    println!("\nplacement (operator -> device):");
+    for (v, name) in ["source", "parse_a", "parse_b", "aggregate", "sink"]
+        .iter()
+        .enumerate()
+    {
+        println!("  {name:<10} -> device {}", placement.device(v));
+    }
+
+    // ---- 5. Check the allocation in the simulator -----------------------
+    let result = spg::sim::analytic::simulate(&app, &cluster, &placement, source_rate);
+    println!(
+        "\nsustained throughput: {:.0}/s of {source_rate}/s offered (relative {:.2})",
+        result.throughput, result.relative
+    );
+    println!("bottleneck: {:?}", result.bottleneck);
+    assert!(result.relative > 0.0);
+}

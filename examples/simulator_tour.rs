@@ -1,0 +1,85 @@
+//! A tour of the two throughput simulators: the analytic bottleneck model
+//! (used as the RL reward — microseconds per evaluation) and the
+//! discrete-time backpressure simulator (used to validate it).
+//!
+//! Run with `cargo run --release --example simulator_tour`.
+
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::Placement;
+use spg::sim::des::{simulate_des, DesConfig};
+use std::time::Instant;
+
+fn main() {
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let cluster = spec.cluster();
+    let g = spg::gen::generate_graph(&spec, 42);
+    println!(
+        "graph: {} operators, {} channels",
+        g.num_nodes(),
+        g.num_edges()
+    );
+
+    // Three placements of increasing quality.
+    let all_on_one = Placement::all_on_one(g.num_nodes());
+    let round_robin = Placement::new(
+        (0..g.num_nodes() as u32)
+            .map(|v| v % cluster.devices as u32)
+            .collect(),
+    );
+    let metis = {
+        use spg::graph::Allocator;
+        spg::partition::MetisAllocator::new(1).allocate(&g, &cluster, spec.source_rate)
+    };
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>10} {:>12}",
+        "placement", "analytic T/s", "DES T/s", "delta", "bottleneck"
+    );
+    for (name, p) in [
+        ("all-on-one", &all_on_one),
+        ("round-robin", &round_robin),
+        ("metis", &metis),
+    ] {
+        let a = spg::sim::analytic::simulate(&g, &cluster, p, spec.source_rate);
+        let d = simulate_des(&g, &cluster, p, spec.source_rate, &DesConfig::default());
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>9.1}% {:>12?}",
+            name,
+            a.throughput,
+            d.throughput,
+            (a.throughput - d.throughput).abs() / a.throughput.max(1.0) * 100.0,
+            a.bottleneck,
+        );
+    }
+
+    // Speed comparison: this asymmetry is why RL training uses the
+    // analytic model (the paper spent 98 of 108 minutes per epoch inside
+    // CEPSim).
+    let n = 200;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(spg::sim::analytic::simulate(
+            &g,
+            &cluster,
+            &metis,
+            spec.source_rate,
+        ));
+    }
+    let analytic_us = t0.elapsed().as_micros() as f64 / n as f64;
+    let t0 = Instant::now();
+    let des_runs = 5;
+    for _ in 0..des_runs {
+        std::hint::black_box(simulate_des(
+            &g,
+            &cluster,
+            &metis,
+            spec.source_rate,
+            &DesConfig::default(),
+        ));
+    }
+    let des_us = t0.elapsed().as_micros() as f64 / des_runs as f64;
+    println!(
+        "\nanalytic: {analytic_us:.0} us/eval   discrete-time: {des_us:.0} us/eval   speedup: {:.0}x",
+        des_us / analytic_us.max(1.0)
+    );
+}

@@ -1,0 +1,28 @@
+//! # spg — stream processing graph allocation
+//!
+//! Umbrella crate re-exporting the whole workspace: a reproduction of
+//! *"Generalizable Reinforcement Learning-Based Coarsening Model for Resource
+//! Allocation over Large and Diverse Stream Processing Graphs"* (IPDPS 2023).
+//!
+//! The sub-crates:
+//!
+//! * [`graph`] — stream DAGs, coarsenings, placements, cluster specs.
+//! * [`gen`] — the paper's recursive synthetic graph generator (Fig. 4).
+//! * [`sim`] — CEPSim-like throughput simulators (analytic + discrete-time).
+//! * [`partition`] — a Metis-style multilevel k-way partitioner.
+//! * [`nn`] — minimal reverse-mode autograd for the CPU RL models.
+//! * [`model`] — the paper's contribution: the edge-collapsing RL coarsening
+//!   model and coarsening-partitioning framework.
+//! * [`baselines`] — Graph-enc-dec, GDP-lite, Hierarchical, heuristics.
+//! * [`eval`] — CDF/AUC metrics and the experiment harness.
+
+pub use spg_baselines as baselines;
+pub use spg_core as model;
+pub use spg_eval as eval;
+pub use spg_gen as gen;
+pub use spg_graph as graph;
+pub use spg_nn as nn;
+pub use spg_partition as partition;
+pub use spg_sim as sim;
+
+pub use spg_graph::{Allocator, ClusterSpec, Placement, StreamGraph};

@@ -1,0 +1,132 @@
+//! End-to-end integration: dataset generation → training → allocation →
+//! simulation, across all workspace crates.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::Allocator;
+use spg::model::pipeline::{CoarsenOnlyAllocator, MetisCoarsePlacer};
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::partition::MetisAllocator;
+
+fn quick_trained_model(epochs: usize, seed: u64) -> CoarsenModel {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let graphs: Vec<_> = (0..8u64)
+        .map(|s| spg::gen::generate_graph(&spec, seed + s))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut trainer = ReinforceTrainer::new(
+        model,
+        MetisCoarsePlacer::new(seed),
+        graphs,
+        spec.cluster(),
+        spec.source_rate,
+        TrainOptions {
+            seed,
+            ..Default::default()
+        },
+    );
+    for _ in 0..epochs {
+        trainer.train_epoch();
+    }
+    trainer.into_model()
+}
+
+#[test]
+fn training_improves_over_untrained_model() {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let test = spg::gen::generate_dataset(&spec, 10, 9999);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let untrained = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let untrained_alloc = CoarsenAllocator::new(untrained, MetisCoarsePlacer::new(1));
+    let trained_alloc = CoarsenAllocator::new(quick_trained_model(6, 7), MetisCoarsePlacer::new(1));
+
+    let before = spg::eval::evaluate_allocator(&untrained_alloc as &dyn Allocator, &test);
+    let after = spg::eval::evaluate_allocator(&trained_alloc as &dyn Allocator, &test);
+    // Training must not make things worse; allow a small tolerance because
+    // both pipelines share the Metis fallback structure.
+    assert!(
+        after.auc() <= before.auc() * 1.10,
+        "training regressed AUC: {} -> {}",
+        before.auc(),
+        after.auc()
+    );
+}
+
+#[test]
+fn pipeline_matches_paper_contract_on_every_setting() {
+    // Every setting must produce valid placements with rewards in [0, 1].
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let alloc = CoarsenAllocator::new(model, MetisCoarsePlacer::new(2));
+    for setting in Setting::all() {
+        let spec = DatasetSpec::scaled_down(setting);
+        let cluster = spec.cluster();
+        let g = spg::gen::generate_graph(&spec, 1);
+        let p = alloc.allocate(&g, &cluster, spec.source_rate);
+        assert!(
+            p.validate(&g, cluster.devices),
+            "invalid placement for {setting:?}"
+        );
+        let r = spg::sim::relative_throughput(&g, &cluster, &p, spec.source_rate);
+        assert!(
+            (0.0..=1.0).contains(&r),
+            "reward {r} out of range for {setting:?}"
+        );
+    }
+}
+
+#[test]
+fn best_of_n_never_loses_to_plain_greedy_by_much() {
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let test = spg::gen::generate_dataset(&spec, 6, 4242);
+    let model = quick_trained_model(3, 21);
+
+    // Cloning shares the parameter storage; both allocators only read it.
+    let greedy = CoarsenAllocator::new(model.clone(), MetisCoarsePlacer::new(3));
+    let best = CoarsenAllocator::new(model, MetisCoarsePlacer::new(3)).with_best_of(6);
+
+    let rg = spg::eval::evaluate_allocator(&greedy as &dyn Allocator, &test);
+    let rb = spg::eval::evaluate_allocator(&best as &dyn Allocator, &test);
+    assert!(
+        rb.auc() <= rg.auc() * 1.02,
+        "best-of-N should not be worse: greedy {} vs best {}",
+        rg.auc(),
+        rb.auc()
+    );
+}
+
+#[test]
+fn coarsen_only_is_valid_everywhere() {
+    let model = quick_trained_model(2, 33);
+    let alloc = CoarsenOnlyAllocator { model };
+    for setting in [Setting::Small, Setting::Medium] {
+        let spec = DatasetSpec::scaled_down(setting);
+        let cluster = spec.cluster();
+        for seed in 0..3 {
+            let g = spg::gen::generate_graph(&spec, seed);
+            let p = alloc.allocate(&g, &cluster, spec.source_rate);
+            assert!(p.validate(&g, cluster.devices));
+            assert!(p.devices_used() <= cluster.devices);
+        }
+    }
+}
+
+#[test]
+fn metis_strongly_beats_random_on_medium_graphs() {
+    // The load-bearing baseline property behind Fig. 1 / Table I.
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let test = spg::gen::generate_dataset(&spec, 8, 777);
+    let metis = MetisAllocator::new(5);
+    let random = spg::baselines::RandomPlacement::new(5);
+    let rm = spg::eval::evaluate_allocator(&metis as &dyn Allocator, &test);
+    let rr = spg::eval::evaluate_allocator(&random as &dyn Allocator, &test);
+    assert!(
+        rm.auc() < rr.auc(),
+        "metis (AUC {}) must beat random (AUC {})",
+        rm.auc(),
+        rr.auc()
+    );
+}

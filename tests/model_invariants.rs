@@ -1,0 +1,98 @@
+//! Model-level invariants: permutation equivariance of the GNN encoder
+//! and stability of the collapse predictions.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::graph::{Channel, ClusterSpec, Operator, StreamGraph, StreamGraphBuilder};
+use spg::model::{CoarsenConfig, CoarsenModel};
+
+/// Build a graph, then the same graph with nodes relabelled by `perm`
+/// (node `v` becomes `perm[v]`) and edges listed in a different order.
+fn permuted_pair() -> (StreamGraph, StreamGraph, Vec<usize>, Vec<usize>) {
+    // Original: 0->1, 0->2, 1->3, 2->3 with distinct costs.
+    let mut b = StreamGraphBuilder::new();
+    let n0 = b.add_node(Operator::new(1_000.0));
+    let n1 = b.add_node(Operator::new(2_000.0));
+    let n2 = b.add_node(Operator::new(3_000.0));
+    let n3 = b.add_node(Operator::new(4_000.0));
+    b.add_edge(n0, n1, Channel::new(100.0)).unwrap();
+    b.add_edge(n0, n2, Channel::new(200.0)).unwrap();
+    b.add_edge(n1, n3, Channel::new(300.0)).unwrap();
+    b.add_edge(n2, n3, Channel::new(400.0)).unwrap();
+    let g = b.finish().unwrap();
+
+    // Permutation 0->2, 1->0, 2->3, 3->1.
+    let perm = vec![2usize, 0, 3, 1];
+    let mut ops = vec![Operator::new(0.0); 4];
+    for v in 0..4 {
+        ops[perm[v]] = *g.op(spg::graph::NodeId(v as u32));
+    }
+    // Edges in a shuffled order with mapped endpoints.
+    let order = [3usize, 0, 2, 1];
+    let mut edges = Vec::new();
+    let mut chans = Vec::new();
+    for &e in &order {
+        let (s, d) = g.edge_list()[e];
+        edges.push((perm[s as usize] as u32, perm[d as usize] as u32));
+        chans.push(g.channels()[e]);
+    }
+    let h = StreamGraph::from_parts(ops, edges, chans).unwrap();
+    (g, h, perm, order.to_vec())
+}
+
+#[test]
+fn collapse_probabilities_are_permutation_equivariant() {
+    let (g, h, _perm, edge_order) = permuted_pair();
+    let cluster = ClusterSpec::paper_medium(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+
+    let pg = model.predict_probs(&g, &cluster, 1e4);
+    let ph = model.predict_probs(&h, &cluster, 1e4);
+
+    // Edge i of h corresponds to edge edge_order[i] of g.
+    for (i, &orig) in edge_order.iter().enumerate() {
+        assert!(
+            (pg[orig] - ph[i]).abs() < 1e-4,
+            "edge {orig} prob {} vs permuted {}",
+            pg[orig],
+            ph[i]
+        );
+    }
+}
+
+#[test]
+fn predictions_are_stable_across_calls() {
+    let (g, _, _, _) = permuted_pair();
+    let cluster = ClusterSpec::paper_medium(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let a = model.predict_probs(&g, &cluster, 1e4);
+    let b = model.predict_probs(&g, &cluster, 1e4);
+    assert_eq!(a, b, "inference must be deterministic");
+}
+
+#[test]
+fn probabilities_respond_to_edge_weight() {
+    // Two otherwise-identical graphs, one with a far heavier edge: the
+    // heavy edge's collapse probability must differ from the light one's
+    // (the edge features reach the head).
+    let build = |payload: f64| {
+        let mut b = StreamGraphBuilder::new();
+        let s = b.add_node(Operator::new(1_000.0));
+        let t = b.add_node(Operator::new(1_000.0));
+        b.add_edge(s, t, Channel::new(payload)).unwrap();
+        b.finish().unwrap()
+    };
+    let light = build(1.0);
+    let heavy = build(1e7);
+    let cluster = ClusterSpec::paper_medium(3);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let pl = model.predict_probs(&light, &cluster, 1e4)[0];
+    let ph = model.predict_probs(&heavy, &cluster, 1e4)[0];
+    assert!(
+        (pl - ph).abs() > 1e-6,
+        "edge features must influence predictions ({pl} vs {ph})"
+    );
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::{Coarsening, Placement, TupleRates, WeightedGraph};
+use spg::partition::{kway_partition, PartitionConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated graphs are valid DAGs within the requested size range,
+    /// with exactly one source and one sink.
+    #[test]
+    fn generator_produces_valid_graphs(seed in 0u64..5000) {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let g = spg::gen::generate_graph(&spec, seed);
+        let (lo, hi) = spec.growth.node_range;
+        prop_assert!(g.num_nodes() >= lo && g.num_nodes() <= hi);
+        prop_assert_eq!(g.sources().len(), 1);
+        prop_assert_eq!(g.sinks().len(), 1);
+        // All costs positive.
+        prop_assert!(g.ops().iter().all(|o| o.ipt > 0.0));
+        prop_assert!(g.channels().iter().all(|c| c.payload > 0.0 && c.selectivity > 0.0));
+    }
+
+    /// Coarsening conserves total CPU demand and total traffic
+    /// (internal + external), for arbitrary collapse decisions.
+    #[test]
+    fn coarsening_conserves_load(seed in 0u64..5000, mask in any::<u64>()) {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let g = spg::gen::generate_graph(&spec, seed);
+        let rates = TupleRates::compute(&g, spec.source_rate);
+        let decisions: Vec<bool> =
+            (0..g.num_edges()).map(|e| mask & (1 << (e % 64)) != 0).collect();
+        let c = Coarsening::from_collapse(&g, &rates, &decisions, None, None);
+
+        let total_cpu: f64 = rates.cpu_demand(&g).iter().sum();
+        let coarse_cpu: f64 = c.coarse.node_cpu.iter().sum();
+        prop_assert!((total_cpu - coarse_cpu).abs() < 1e-6 * total_cpu.max(1.0));
+
+        let total_traffic = rates.total_edge_traffic(&g);
+        let accounted = c.coarse.total_external_traffic() + c.coarse.internal_traffic;
+        prop_assert!((total_traffic - accounted).abs() < 1e-6 * total_traffic.max(1.0));
+
+        // Node map must be dense.
+        let k = c.coarse.num_nodes() as u32;
+        prop_assert!(c.node_map.iter().all(|&m| m < k));
+        let mut seen = vec![false; k as usize];
+        for &m in &c.node_map { seen[m as usize] = true; }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Lifting a coarse placement preserves group co-location and the cut
+    /// traffic equals the coarse graph's cross-group traffic.
+    #[test]
+    fn lift_preserves_grouping(seed in 0u64..5000, mask in any::<u64>(), devices in 2usize..6) {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let g = spg::gen::generate_graph(&spec, seed);
+        let rates = TupleRates::compute(&g, spec.source_rate);
+        let decisions: Vec<bool> =
+            (0..g.num_edges()).map(|e| mask & (1 << (e % 64)) != 0).collect();
+        let c = Coarsening::from_collapse(&g, &rates, &decisions, None, None);
+        let coarse_placement = Placement::new(
+            (0..c.coarse.num_nodes() as u32).map(|i| i % devices as u32).collect(),
+        );
+        let lifted = Placement::lift(&coarse_placement, &c.node_map);
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(
+                lifted.device(v),
+                coarse_placement.device(c.node_map[v] as usize)
+            );
+        }
+    }
+
+    /// The partitioner always produces a complete labelling within range
+    /// and never leaves a part empty on connected graphs with n >= 4k.
+    #[test]
+    fn partitioner_labels_are_well_formed(seed in 0u64..5000, k in 2usize..6) {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let g = spg::gen::generate_graph(&spec, seed);
+        let w = WeightedGraph::from_stream(&g, spec.source_rate);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let part = kway_partition(&w, k, &PartitionConfig::default(), &mut rng);
+        prop_assert_eq!(part.len(), g.num_nodes());
+        prop_assert!(part.iter().all(|&p| (p as usize) < k));
+    }
+
+    /// The analytic reward is scale-free: doubling the source rate halves
+    /// the relative throughput of a saturated system (or keeps it at 1).
+    #[test]
+    fn reward_scales_inversely_with_rate(seed in 0u64..5000) {
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let cluster = spec.cluster();
+        let g = spg::gen::generate_graph(&spec, seed);
+        let p = Placement::all_on_one(g.num_nodes());
+        let r1 = spg::sim::relative_throughput(&g, &cluster, &p, spec.source_rate);
+        let r2 = spg::sim::relative_throughput(&g, &cluster, &p, spec.source_rate * 2.0);
+        if r1 < 1.0 {
+            prop_assert!((r2 - r1 / 2.0).abs() < 1e-9, "r1 {} r2 {}", r1, r2);
+        } else {
+            prop_assert!(r2 <= 1.0);
+        }
+    }
+
+    /// CDF AUC is monotone: pointwise-better throughputs never raise AUC.
+    #[test]
+    fn auc_is_monotone(ts in prop::collection::vec(0.0f64..10_000.0, 1..40)) {
+        let better: Vec<f64> = ts.iter().map(|&t| (t * 1.1).min(10_000.0)).collect();
+        let a = spg::eval::ThroughputCdf::new(ts).auc(10_000.0);
+        let b = spg::eval::ThroughputCdf::new(better).auc(10_000.0);
+        prop_assert!(b <= a + 1e-9);
+    }
+
+    /// Device placements from the Metis allocator are always valid.
+    #[test]
+    fn metis_allocator_is_total(seed in 0u64..5000) {
+        use spg::graph::Allocator;
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let cluster = spec.cluster();
+        let g = spg::gen::generate_graph(&spec, seed);
+        let alloc = spg::partition::MetisAllocator::new(seed);
+        let p = alloc.allocate(&g, &cluster, spec.source_rate);
+        prop_assert!(p.validate(&g, cluster.devices));
+    }
+}

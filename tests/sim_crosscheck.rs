@@ -1,0 +1,99 @@
+//! Cross-validation of the two simulators: the analytic bottleneck model
+//! (RL reward) and the discrete-time backpressure simulator must agree on
+//! generated graphs under arbitrary placements. This is the substitute for
+//! the paper's CEPSim-fidelity argument.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::{Allocator, Placement};
+use spg::sim::des::{simulate_des, DesConfig};
+
+fn des_cfg() -> DesConfig {
+    DesConfig {
+        dt: 1e-3,
+        warmup_steps: 4000,
+        measure_steps: 4000,
+        queue_capacity: 200.0,
+    }
+}
+
+#[test]
+fn analytic_and_des_agree_on_random_placements() {
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let cluster = spec.cluster();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for seed in 0..4u64 {
+        let g = spg::gen::generate_graph(&spec, seed);
+        let p = Placement::new(
+            (0..g.num_nodes())
+                .map(|_| rng.gen_range(0..cluster.devices as u32))
+                .collect(),
+        );
+        let a = spg::sim::analytic::simulate(&g, &cluster, &p, spec.source_rate);
+        let d = simulate_des(&g, &cluster, &p, spec.source_rate, &des_cfg());
+        assert!(
+            (a.relative - d.relative).abs() < 0.05,
+            "seed {seed}: analytic {} vs des {}",
+            a.relative,
+            d.relative
+        );
+    }
+}
+
+#[test]
+fn analytic_and_des_agree_on_metis_placements() {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let cluster = spec.cluster();
+    let metis = spg::partition::MetisAllocator::new(9);
+    for seed in 0..4u64 {
+        let g = spg::gen::generate_graph(&spec, seed);
+        let p = metis.allocate(&g, &cluster, spec.source_rate);
+        let a = spg::sim::analytic::simulate(&g, &cluster, &p, spec.source_rate);
+        let d = simulate_des(&g, &cluster, &p, spec.source_rate, &des_cfg());
+        assert!(
+            (a.relative - d.relative).abs() < 0.05,
+            "seed {seed}: analytic {} vs des {}",
+            a.relative,
+            d.relative
+        );
+    }
+}
+
+#[test]
+fn simulators_rank_placements_identically() {
+    // The paper only needs the simulator to produce consistent *relative*
+    // ranks; verify both simulators induce the same ordering.
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let cluster = spec.cluster();
+    let g = spg::gen::generate_graph(&spec, 11);
+
+    let placements = [
+        Placement::all_on_one(g.num_nodes()),
+        Placement::new(
+            (0..g.num_nodes() as u32)
+                .map(|v| v % cluster.devices as u32)
+                .collect(),
+        ),
+        spg::partition::MetisAllocator::new(1).allocate(&g, &cluster, spec.source_rate),
+    ];
+    let analytic: Vec<f64> = placements
+        .iter()
+        .map(|p| spg::sim::analytic::simulate(&g, &cluster, p, spec.source_rate).relative)
+        .collect();
+    let des: Vec<f64> = placements
+        .iter()
+        .map(|p| simulate_des(&g, &cluster, p, spec.source_rate, &des_cfg()).relative)
+        .collect();
+
+    for i in 0..placements.len() {
+        for j in 0..placements.len() {
+            if analytic[i] > analytic[j] + 0.02 {
+                assert!(
+                    des[i] > des[j] - 0.02,
+                    "rank flip between placements {i} and {j}: analytic {analytic:?} des {des:?}"
+                );
+            }
+        }
+    }
+}
