@@ -1,0 +1,110 @@
+//! REINFORCE train-epoch throughput at 1 vs N rollout workers, plus the
+//! blocked matmul kernel rate. Besides the usual stdout report, writes
+//! `BENCH_train.json` at the workspace root with ns/epoch per worker
+//! count and the matmul GFLOP/s, so perf can be tracked across PRs.
+//!
+//! The worker counts share one RNG scheme (seed-per-sample), so every
+//! row of this bench computes bitwise-identical training trajectories —
+//! the comparison isolates scheduling cost/benefit only.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_core::{CoarsenConfig, CoarsenModel, MetisCoarsePlacer, ReinforceTrainer, TrainOptions};
+use spg_gen::{DatasetSpec, Setting};
+use spg_graph::StreamGraph;
+use spg_nn::Matrix;
+use std::path::Path;
+
+const MATMUL_DIM: usize = 128;
+
+fn make_trainer(num_workers: usize) -> ReinforceTrainer<MetisCoarsePlacer> {
+    let spec = DatasetSpec::scaled_down(Setting::Medium);
+    let cluster = spec.cluster();
+    let graphs: Vec<StreamGraph> = (0..6u64)
+        .map(|s| spg_gen::generate_graph(&spec, s))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    ReinforceTrainer::new(
+        model,
+        MetisCoarsePlacer::new(5),
+        graphs,
+        cluster,
+        spec.source_rate,
+        TrainOptions {
+            metis_guided: false,
+            seed: 11,
+            num_workers,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_train_epoch(c: &mut Criterion, worker_counts: &[usize]) {
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    for &w in worker_counts {
+        group.bench_with_input(BenchmarkId::new("workers", w), &w, |b, &w| {
+            let mut t = make_trainer(w);
+            b.iter(|| black_box(t.train_epoch()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = MATMUL_DIM;
+    let a = Matrix::from_vec(
+        n,
+        n,
+        (0..n * n).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect(),
+    );
+    let b = Matrix::from_vec(
+        n,
+        n,
+        (0..n * n).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+    );
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("f32", format!("{n}x{n}")), |bch| {
+        bch.iter(|| black_box(a.matmul(&b)))
+    });
+    group.finish();
+}
+
+fn emit_json(c: &Criterion, path: &Path) {
+    let mut lines = Vec::new();
+    for r in &c.results {
+        let mut fields = format!("\"ns_per_iter\": {:.1}", r.ns_per_iter);
+        if r.id.starts_with("matmul/") {
+            // 2·n³ flops per multiply.
+            let flops = 2.0 * (MATMUL_DIM as f64).powi(3);
+            fields.push_str(&format!(", \"gflops\": {:.3}", flops / r.ns_per_iter));
+        }
+        lines.push(format!("  \"{}\": {{ {} }}", r.id, fields));
+    }
+    let json = format!("{{\n{}\n}}\n", lines.join(",\n"));
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let max = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 4];
+    if max > 1 && max != 4 {
+        worker_counts.push(max);
+    }
+
+    let mut c = Criterion::default();
+    bench_train_epoch(&mut c, &worker_counts);
+    bench_matmul(&mut c);
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    emit_json(&c, &root.join("BENCH_train.json"));
+}

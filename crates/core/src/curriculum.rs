@@ -36,7 +36,7 @@ pub struct LevelStats {
 
 /// Train `model` through `levels` in order (the paper's size-based
 /// curriculum); returns the trained model and per-level history.
-pub fn train_curriculum<P: CoarsePlacer + Clone>(
+pub fn train_curriculum<P: CoarsePlacer + Clone + Sync>(
     mut model: CoarsenModel,
     placer: &P,
     levels: &[CurriculumLevel],
@@ -71,7 +71,7 @@ pub fn train_curriculum<P: CoarsePlacer + Clone>(
 /// Fine-tune an already-trained model on a new setting for a few epochs
 /// (the paper's transfer experiments: medium→large, large→x-large,
 /// simulator→real platform).
-pub fn fine_tune<P: CoarsePlacer + Clone>(
+pub fn fine_tune<P: CoarsePlacer + Clone + Sync>(
     model: CoarsenModel,
     placer: &P,
     level: &CurriculumLevel,

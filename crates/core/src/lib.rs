@@ -30,9 +30,11 @@ pub mod model;
 pub mod pipeline;
 pub mod policy;
 pub mod reinforce;
+pub mod rollout;
 
 pub use config::CoarsenConfig;
 pub use model::CoarsenModel;
 pub use pipeline::{CoarsePlacer, CoarsenAllocator, CoarsenOracleAllocator, MetisCoarsePlacer};
 pub use policy::{CoarseningPolicy, DecodeMode};
 pub use reinforce::{ReinforceTrainer, TrainOptions, TrainStats};
+pub use rollout::RewardCache;

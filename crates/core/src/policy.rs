@@ -116,8 +116,12 @@ impl CoarseningPolicy {
     }
 }
 
-/// Edge ids sorted by descending probability.
-fn priority_by_prob(probs: &[f32]) -> Vec<u32> {
+/// Edge ids sorted by descending probability — the order in which
+/// [`CoarseningPolicy::apply`] attempts collapses. Together with the
+/// decision vector it fully determines the coarsening (and, with a
+/// content-seeded placer, the reward), which is what
+/// [`crate::rollout::collapse_key`] exploits for memoization.
+pub fn priority_by_prob(probs: &[f32]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..probs.len() as u32).collect();
     order.sort_unstable_by(|&a, &b| probs[b as usize].total_cmp(&probs[a as usize]));
     order

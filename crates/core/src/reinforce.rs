@@ -7,11 +7,19 @@
 //! Metis-derived samples) are added; the policy gradient
 //! `∇J = (1/N) Σ ∇log π(a_n) · (r_n − b)` uses the mean reward of the
 //! considered samples as the baseline `b`.
+//!
+//! Rollouts run on the [`crate::rollout`] engine: the samples of a step
+//! (and the graphs of an evaluation pass) fan out over
+//! [`TrainOptions::num_workers`] threads with results bitwise identical
+//! to the sequential path, and rewards are memoized per graph so
+//! repeated decision vectors skip the simulator. Forward/backward passes
+//! stay on the calling thread — model parameters are `Rc`-shared.
 
 use crate::model::CoarsenModel;
 use crate::pipeline::CoarsePlacer;
-use crate::policy::{CoarseningPolicy, DecodeMode};
-use rand::SeedableRng;
+use crate::policy::{priority_by_prob, CoarseningPolicy, DecodeMode};
+use crate::rollout::{self, RewardCache, RolloutOutcome};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
 use spg_nn::{Adam, Tape};
@@ -33,6 +41,10 @@ pub struct TrainOptions {
     pub drop_guided_when_beaten: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Rollout worker threads (default: available parallelism; `1` runs
+    /// the sequential path). Results are bitwise identical for every
+    /// value — see [`crate::rollout`].
+    pub num_workers: usize,
 }
 
 impl Default for TrainOptions {
@@ -45,6 +57,7 @@ impl Default for TrainOptions {
             metis_guided: true,
             drop_guided_when_beaten: true,
             seed: 0,
+            num_workers: rollout::default_workers(),
         }
     }
 }
@@ -91,6 +104,7 @@ pub struct ReinforceTrainer<P: CoarsePlacer> {
     cluster: ClusterSpec,
     source_rate: f64,
     rng: ChaCha8Rng,
+    cache: RewardCache,
 }
 
 impl<P: CoarsePlacer> ReinforceTrainer<P> {
@@ -140,9 +154,7 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
                     &policy,
                     &inst.graph,
                     &inst.rates,
-                    &inst.feats,
                     &cluster,
-                    source_rate,
                     &decisions,
                     &probs,
                     &placer,
@@ -158,6 +170,7 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
         // Fresh rng stream decoupled from seeding above.
         rng.set_word_pos(1 << 20);
 
+        let cache = RewardCache::new(instances.len());
         Self {
             model,
             placer,
@@ -168,6 +181,7 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
             cluster,
             source_rate,
             rng,
+            cache,
         }
     }
 
@@ -176,6 +190,22 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
         self.instances.len()
     }
 
+    /// The reward memo-cache (hit/miss counters, memoized entries).
+    pub fn reward_cache(&self) -> &RewardCache {
+        &self.cache
+    }
+
+    /// Consume the trainer, returning the trained model.
+    pub fn into_model(self) -> CoarsenModel {
+        self.model
+    }
+}
+
+/// Training and evaluation fan rollouts out over worker threads, so the
+/// placer must be shareable. Every shipped placer used for training
+/// ([`crate::pipeline::MetisCoarsePlacer`]) is `Sync`; `Rc`-backed
+/// learned placers remain usable for inference-side pipelines.
+impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
     /// Run one epoch (one policy-gradient step per graph).
     pub fn train_epoch(&mut self) -> TrainStats {
         let mut sum_reward = 0.0;
@@ -230,27 +260,65 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
             (logits, probs)
         };
 
-        // On-policy rollouts.
+        // On-policy rollouts on the deterministic engine: pre-draw one
+        // decode seed per sample from the master RNG, so every sample's
+        // stream is a pure function of its index and the batch runs on
+        // any number of workers with bitwise identical results.
+        let priority = priority_by_prob(&probs);
+        let seeds: Vec<u64> = (0..opts.on_policy_samples)
+            .map(|_| self.rng.gen())
+            .collect();
+        let outcomes: Vec<RolloutOutcome> = {
+            let inst = &self.instances[gi];
+            let policy = &self.policy;
+            let placer = &self.placer;
+            let cluster = &self.cluster;
+            let probs = &probs;
+            let priority = &priority[..];
+            // Workers read one cache snapshot for the whole batch;
+            // misses are inserted afterwards in sample order.
+            let cache = self.cache.graph(gi);
+            rollout::run_ordered(opts.num_workers, seeds.len(), |i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seeds[i]);
+                let decisions = policy.decode(probs, DecodeMode::Sample, &mut rng);
+                let key = rollout::collapse_key(priority, &decisions);
+                match cache.get(&key).copied() {
+                    Some(reward) => RolloutOutcome {
+                        decisions,
+                        key,
+                        reward,
+                        cached: true,
+                    },
+                    None => {
+                        let reward = rollout_reward(
+                            policy,
+                            &inst.graph,
+                            &inst.rates,
+                            cluster,
+                            &decisions,
+                            probs,
+                            placer,
+                        );
+                        RolloutOutcome {
+                            decisions,
+                            key,
+                            reward,
+                            cached: false,
+                        }
+                    }
+                }
+            })
+        };
+
         let mut samples: Vec<(Vec<bool>, f64, bool)> = Vec::new();
         let mut on_policy_sum = 0.0;
-        for _ in 0..opts.on_policy_samples {
-            let decisions = self
-                .policy
-                .decode(&probs, DecodeMode::Sample, &mut self.rng);
-            let inst = &self.instances[gi];
-            let reward = rollout_reward(
-                &self.policy,
-                &inst.graph,
-                &inst.rates,
-                &inst.feats,
-                &self.cluster,
-                self.source_rate,
-                &decisions,
-                &probs,
-                &self.placer,
-            );
-            on_policy_sum += reward;
-            samples.push((decisions, reward, false));
+        for out in outcomes {
+            self.cache.record(out.cached);
+            if !out.cached {
+                self.cache.insert(gi, out.key, out.reward);
+            }
+            on_policy_sum += out.reward;
+            samples.push((out.decisions, out.reward, false));
         }
         let on_policy_mean = on_policy_sum / opts.on_policy_samples.max(1) as f64;
 
@@ -311,50 +379,58 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
         Some(on_policy_mean)
     }
 
-    /// Mean greedy-decode reward over an evaluation set.
+    /// Mean greedy-decode reward over an evaluation set. Per-graph work
+    /// fans out over the rollout engine; the sum reduces in graph order,
+    /// so the result does not depend on the worker count.
     pub fn evaluate(&self, graphs: &[StreamGraph]) -> f64 {
         if graphs.is_empty() {
             return 0.0;
         }
+        let workers = self.options.num_workers;
+        // Borrow the shareable fields individually: capturing `self`
+        // would drag the `Rc`-backed model into the worker closures.
+        let (policy, placer, cluster) = (&self.policy, &self.placer, &self.cluster);
+        let source_rate = self.source_rate;
+        // Rates and features are model-free — compute them in parallel.
+        let prepared: Vec<(TupleRates, GraphFeatures)> =
+            rollout::run_ordered(workers, graphs.len(), |i| {
+                let rates = TupleRates::compute(&graphs[i], source_rate);
+                let feats = GraphFeatures::extract_with_rates(&graphs[i], cluster, &rates);
+                (rates, feats)
+            });
+        // Forward passes stay on this thread (`Rc`-shared parameters);
+        // greedy decoding ignores the RNG, so nothing couples graphs.
         let mut rng = ChaCha8Rng::seed_from_u64(0xEA7_5EED);
-        let sum: f64 = graphs
+        let decoded: Vec<(Vec<f32>, Vec<bool>)> = graphs
             .iter()
-            .map(|g| {
-                let rates = TupleRates::compute(g, self.source_rate);
-                let feats = GraphFeatures::extract_with_rates(g, &self.cluster, &rates);
-                let probs = self.model.predict_probs_with_features(g, &feats);
+            .zip(&prepared)
+            .map(|(g, (_, feats))| {
+                let probs = self.model.predict_probs_with_features(g, feats);
                 let decisions = self.policy.decode(&probs, DecodeMode::Greedy, &mut rng);
-                rollout_reward(
-                    &self.policy,
-                    g,
-                    &rates,
-                    &feats,
-                    &self.cluster,
-                    self.source_rate,
-                    &decisions,
-                    &probs,
-                    &self.placer,
-                )
+                (probs, decisions)
             })
-            .sum();
-        sum / graphs.len() as f64
-    }
-
-    /// Consume the trainer, returning the trained model.
-    pub fn into_model(self) -> CoarsenModel {
-        self.model
+            .collect();
+        let rewards = rollout::run_ordered(workers, graphs.len(), |i| {
+            rollout_reward(
+                policy,
+                &graphs[i],
+                &prepared[i].0,
+                cluster,
+                &decoded[i].1,
+                &decoded[i].0,
+                placer,
+            )
+        });
+        rewards.iter().sum::<f64>() / graphs.len() as f64
     }
 }
 
 /// Coarsen with `decisions`, place the coarse graph, lift, simulate.
-#[allow(clippy::too_many_arguments)]
 fn rollout_reward<P: CoarsePlacer>(
     policy: &CoarseningPolicy,
     graph: &StreamGraph,
     rates: &TupleRates,
-    _feats: &GraphFeatures,
     cluster: &ClusterSpec,
-    source_rate: f64,
     decisions: &[bool],
     probs: &[f32],
     placer: &P,
@@ -362,7 +438,6 @@ fn rollout_reward<P: CoarsePlacer>(
     let coarsening = policy.apply(graph, rates, cluster, decisions, probs);
     let coarse_placement = placer.place_coarse(&coarsening.coarse, cluster);
     let placement = Placement::lift(&coarse_placement, &coarsening.node_map);
-    let _ = source_rate;
     spg_sim::reward::relative_throughput_with_rates(graph, cluster, &placement, rates)
 }
 
@@ -373,7 +448,11 @@ mod tests {
     use crate::pipeline::MetisCoarsePlacer;
     use spg_gen::{DatasetSpec, Setting};
 
-    fn trainer(n_graphs: usize, metis_guided: bool) -> ReinforceTrainer<MetisCoarsePlacer> {
+    fn trainer_with(
+        n_graphs: usize,
+        metis_guided: bool,
+        num_workers: usize,
+    ) -> ReinforceTrainer<MetisCoarsePlacer> {
         let spec = DatasetSpec::scaled_down(Setting::Small);
         let cluster = spec.cluster();
         let graphs: Vec<StreamGraph> = (0..n_graphs as u64)
@@ -390,9 +469,14 @@ mod tests {
             TrainOptions {
                 metis_guided,
                 seed: 9,
+                num_workers,
                 ..Default::default()
             },
         )
+    }
+
+    fn trainer(n_graphs: usize, metis_guided: bool) -> ReinforceTrainer<MetisCoarsePlacer> {
+        trainer_with(n_graphs, metis_guided, 1)
     }
 
     #[test]
@@ -442,6 +526,107 @@ mod tests {
                 assert!(w[0].reward >= w[1].reward);
             }
         }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let mut t1 = trainer_with(3, true, 1);
+        let mut t4 = trainer_with(3, true, 4);
+        for _ in 0..3 {
+            let s1 = t1.train_epoch();
+            let s4 = t4.train_epoch();
+            assert_eq!(s1, s4, "TrainStats diverged between 1 and 4 workers");
+        }
+        // Buffers must be bitwise identical: same decision vectors, same
+        // reward bits, same provenance, in the same order.
+        for (a, b) in t1.instances.iter().zip(&t4.instances) {
+            assert_eq!(a.buffer.len(), b.buffer.len());
+            for (x, y) in a.buffer.iter().zip(&b.buffer) {
+                assert_eq!(x.decisions, y.decisions);
+                assert_eq!(x.reward.to_bits(), y.reward.to_bits());
+                assert_eq!(x.guided, y.guided);
+            }
+        }
+        // Cache bookkeeping is scheduling-independent too.
+        assert_eq!(t1.reward_cache().hits(), t4.reward_cache().hits());
+        assert_eq!(t1.reward_cache().misses(), t4.reward_cache().misses());
+        assert_eq!(t1.reward_cache().entries(), t4.reward_cache().entries());
+        // And so is the parallel evaluation pass.
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let test_graphs: Vec<StreamGraph> = (50..54u64)
+            .map(|s| spg_gen::generate_graph(&spec, s))
+            .collect();
+        assert_eq!(
+            t1.evaluate(&test_graphs).to_bits(),
+            t4.evaluate(&test_graphs).to_bits()
+        );
+    }
+
+    #[test]
+    fn repeated_decisions_hit_the_reward_cache() {
+        use spg_graph::{Channel, Operator, StreamGraphBuilder};
+        // A 2-edge chain admits at most 5 distinct collapse keys
+        // ({}, [0], [1], [0,1], [1,0]), so after the first few epochs
+        // every sampled vector must already be memoized.
+        let mut b = StreamGraphBuilder::new();
+        let mut prev = b.add_node(Operator::new(10.0));
+        for _ in 1..3 {
+            let next = b.add_node(Operator::new(10.0));
+            b.add_edge(prev, next, Channel::new(8.0)).unwrap();
+            prev = next;
+        }
+        let g = b.finish().unwrap();
+        let cluster = spg_graph::ClusterSpec::new(2, 0.2, 100.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let mut t = ReinforceTrainer::new(
+            model,
+            MetisCoarsePlacer::new(5),
+            vec![g],
+            cluster,
+            1e4,
+            TrainOptions {
+                metis_guided: false,
+                seed: 9,
+                num_workers: 1,
+                ..Default::default()
+            },
+        );
+        let epochs = 10;
+        for _ in 0..epochs {
+            t.train_epoch();
+        }
+        let cache = t.reward_cache();
+        let total = (epochs * t.options.on_policy_samples) as u64;
+        assert_eq!(cache.hits() + cache.misses(), total);
+        assert!(cache.hits() > 0, "no rollout was ever served from cache");
+        assert!(cache.entries() <= 5, "entries = {}", cache.entries());
+        // A key can be evaluated at most once per batch it is missing in,
+        // so distinct entries never exceed simulator invocations.
+        assert!(cache.entries() as u64 <= cache.misses());
+    }
+
+    #[test]
+    fn collapse_key_determines_reward() {
+        // The memoization premise: the reward depends on (decisions,
+        // probs) only through the collapse key. Two prob vectors with the
+        // same induced priority must yield bitwise-equal rewards.
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let cluster = spec.cluster();
+        let g = spg_gen::generate_graph(&spec, 0);
+        let rates = TupleRates::compute(&g, spec.source_rate);
+        let policy = CoarseningPolicy::from_config(&CoarsenConfig::default());
+        let placer = MetisCoarsePlacer::new(5);
+        let m = g.num_edges();
+        let probs_a: Vec<f32> = (0..m).map(|e| 0.9 - e as f32 * (0.8 / m as f32)).collect();
+        let probs_b: Vec<f32> = (0..m).map(|e| 0.6 - e as f32 * (0.5 / m as f32)).collect();
+        let decisions: Vec<bool> = (0..m).map(|e| e % 3 == 0).collect();
+        let ka = rollout::collapse_key(&priority_by_prob(&probs_a), &decisions);
+        let kb = rollout::collapse_key(&priority_by_prob(&probs_b), &decisions);
+        assert_eq!(ka, kb);
+        let ra = rollout_reward(&policy, &g, &rates, &cluster, &decisions, &probs_a, &placer);
+        let rb = rollout_reward(&policy, &g, &rates, &cluster, &decisions, &probs_b, &placer);
+        assert_eq!(ra.to_bits(), rb.to_bits());
     }
 
     #[test]

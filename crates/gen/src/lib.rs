@@ -83,7 +83,10 @@ pub fn generate_dataset_parallel(
         name: spec.name.clone(),
         cluster: spec.cluster(),
         source_rate: spec.source_rate,
-        graphs: graphs.into_iter().map(|g| g.expect("all slots filled")).collect(),
+        graphs: graphs
+            .into_iter()
+            .map(|g| g.expect("all slots filled"))
+            .collect(),
     }
 }
 

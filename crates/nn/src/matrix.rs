@@ -64,62 +64,79 @@ impl Matrix {
         self.data[r * self.cols + c] = x;
     }
 
-    /// `self @ other` with an ikj loop (cache-friendly row-major kernel).
+    /// `self @ other` with a blocked ikj kernel (row-major, tiled over
+    /// `i`/`k` with a 4-wide unrolled inner axpy). The `k` tiles advance
+    /// in ascending order, so every output element accumulates its terms
+    /// in exactly the sequence of the untiled ikj loop — the result is
+    /// bitwise identical, just faster.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        for i0 in (0..n).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(n);
+            for k0 in (0..k).step_by(BLOCK) {
+                let k1 = (k0 + BLOCK).min(k);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    let out_row = &mut out.data[i * m..(i + 1) * m];
+                    for (kk, &a) in a_row.iter().enumerate().take(k1).skip(k0) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy(out_row, a, &other.data[kk * m..(kk + 1) * m]);
+                    }
                 }
             }
         }
         out
     }
 
-    /// `self^T @ other` without materialising the transpose.
+    /// `self^T @ other` without materialising the transpose. Tiled over
+    /// `k`/`i` with the same ascending-`k` accumulation order as the
+    /// untiled kij loop (bitwise-identical results).
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * m..(i + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i0 in (0..n).step_by(BLOCK) {
+                let i1 = (i0 + BLOCK).min(n);
+                for kk in k0..k1 {
+                    let a_row = self.row(kk);
+                    let b_row = other.row(kk);
+                    for (i, &a) in a_row.iter().enumerate().take(i1).skip(i0) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy(&mut out.data[i * m..(i + 1) * m], a, b_row);
+                    }
                 }
             }
         }
         out
     }
 
-    /// `self @ other^T` without materialising the transpose.
+    /// `self @ other^T` without materialising the transpose. Tiled over
+    /// `i`/`j` so a block of `other` rows stays cache-hot; each dot
+    /// product keeps a single accumulator over ascending `k` (the 4-wide
+    /// unroll only removes loop overhead, it does not reassociate), so
+    /// the result is bitwise identical to the naive loop.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
-            let a_row = self.row(i);
-            for j in 0..m {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
+        for i0 in (0..n).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(n);
+            for j0 in (0..m).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(m);
+                for i in i0..i1 {
+                    let a_row = &self.data[i * k..(i + 1) * k];
+                    for j in j0..j1 {
+                        out.data[i * m + j] = dot(a_row, other.row(j));
+                    }
                 }
-                out.data[i * m + j] = acc;
             }
         }
         out
@@ -154,6 +171,51 @@ impl Matrix {
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+}
+
+/// Cache-block edge for the matmul kernels: 64×64 f32 tiles (16 KiB per
+/// operand) fit in L1 alongside the streamed operand.
+const BLOCK: usize = 64;
+
+/// `out[j] += a * b[j]`, unrolled 4-wide. Element order is unchanged —
+/// each `out[j]` receives exactly one add — so this is bitwise
+/// equivalent to the scalar loop, minus most of the bounds checks.
+#[inline]
+fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
+    let n = out.len();
+    let n4 = n / 4 * 4;
+    let (o4, o_tail) = out.split_at_mut(n4);
+    let (b4, b_tail) = b[..n].split_at(n4);
+    for (oc, bc) in o4.chunks_exact_mut(4).zip(b4.chunks_exact(4)) {
+        oc[0] += a * bc[0];
+        oc[1] += a * bc[1];
+        oc[2] += a * bc[2];
+        oc[3] += a * bc[3];
+    }
+    for (o, &bb) in o_tail.iter_mut().zip(b_tail) {
+        *o += a * bb;
+    }
+}
+
+/// Sequential-order dot product, unrolled 4-wide into a single
+/// accumulator (no partial-sum reassociation, so the float result
+/// matches the naive `for kk { acc += a[kk] * b[kk] }` loop exactly).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() / 4 * 4;
+    let (a4, a_tail) = a.split_at(n4);
+    let (b4, b_tail) = b[..a.len()].split_at(n4);
+    let mut acc = 0.0f32;
+    for (ac, bc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        acc += ac[0] * bc[0];
+        acc += ac[1] * bc[1];
+        acc += ac[2] * bc[2];
+        acc += ac[3] * bc[3];
+    }
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        acc += x * y;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -202,6 +264,117 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    /// Deterministic pseudo-random fill with exact zeros sprinkled in to
+    /// exercise the kernels' zero-skip path.
+    fn filled(rows: usize, cols: usize, salt: u32) -> Matrix {
+        let mut x = salt.wrapping_mul(2654435761).wrapping_add(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                if x.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((x >> 8) % 2003) as f32 / 1001.0 - 1.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// The pre-blocking ikj kernel, kept as the bitwise reference.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (n, k, m) = (a.rows, a.cols, b.cols);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for kk in 0..k {
+                let av = a.get(i, kk);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    out.data[i * m + j] += av * b.get(kk, j);
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let (k, n, m) = (a.rows, a.cols, b.cols);
+        let mut out = Matrix::zeros(n, m);
+        for kk in 0..k {
+            for i in 0..n {
+                let av = a.get(kk, i);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..m {
+                    out.data[i * m + j] += av * b.get(kk, j);
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        let (n, k, m) = (a.rows, a.cols, b.rows);
+        let mut out = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.get(i, kk) * b.get(j, kk);
+                }
+                out.data[i * m + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols));
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    /// Shapes straddling the 64-wide block edge and the 4-wide unroll
+    /// tail in every dimension.
+    const SHAPES: [(usize, usize, usize); 5] = [
+        (1, 1, 1),
+        (3, 5, 2),
+        (17, 64, 9),
+        (65, 63, 66),
+        (70, 129, 67),
+    ];
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_naive() {
+        for (si, &(n, k, m)) in SHAPES.iter().enumerate() {
+            let a = filled(n, k, si as u32);
+            let b = filled(k, m, 100 + si as u32);
+            assert_bits_eq(&a.matmul(&b), &naive_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn blocked_t_matmul_is_bitwise_identical_to_naive() {
+        for (si, &(n, k, m)) in SHAPES.iter().enumerate() {
+            let a = filled(k, n, 200 + si as u32);
+            let b = filled(k, m, 300 + si as u32);
+            assert_bits_eq(&a.t_matmul(&b), &naive_t_matmul(&a, &b));
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_t_is_bitwise_identical_to_naive() {
+        for (si, &(n, k, m)) in SHAPES.iter().enumerate() {
+            let a = filled(n, k, 400 + si as u32);
+            let b = filled(m, k, 500 + si as u32);
+            assert_bits_eq(&a.matmul_t(&b), &naive_matmul_t(&a, &b));
+        }
     }
 
     #[test]

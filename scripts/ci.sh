@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, release build, root-package tests.
+# Mirrors .github/workflows/ci.yml so it can run locally or in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

@@ -1,0 +1,256 @@
+//! Offline vendored criterion-compatible micro-benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API used by this
+//! workspace's benches: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`/`bench_with_input`,
+//! `BenchmarkId`, `sample_size`, and `Bencher::iter`. Measurement is a
+//! simple calibrated loop (warm-up to estimate cost, then `sample_size`
+//! timed samples; the median is reported), which is plenty for tracking
+//! relative perf across PRs without crates.io access.
+//!
+//! Results are printed to stdout and collected in
+//! [`Criterion::results`], so harness binaries can post-process them
+//! (e.g. emit a `BENCH_*.json`). Set `SPG_BENCH_FAST=1` to cut sample
+//! counts for smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a displayed parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// The harness root.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All results measured so far, in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: default_sample_size(),
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let res = run_bench(&id, default_sample_size(), f);
+        self.results.push(res);
+        self
+    }
+}
+
+fn default_sample_size() -> usize {
+    if std::env::var_os("SPG_BENCH_FAST").is_some() {
+        10
+    } else {
+        30
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Upstream tuning knob; accepted and ignored (sampling here is
+    /// calibrated per-benchmark instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upstream tuning knob; accepted and ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let res = run_bench(&full, self.sample_size, f);
+        self.criterion.results.push(res);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (kept for API compatibility; results are already
+    /// recorded).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    measured: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, subtracting nothing (monotonic wall clock).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up & calibration: aim for samples of >= ~2ms or 1 iter.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(2);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            times.push(dt.as_secs_f64() * 1e9 / self.iters_per_sample as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.measured = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) -> BenchResult {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples,
+        measured: None,
+    };
+    f(&mut b);
+    let ns = b.measured.unwrap_or(f64::NAN);
+    println!("bench {id:<56} {:>14} ns/iter", format_ns(ns));
+    BenchResult {
+        id: id.to_string(),
+        ns_per_iter: ns,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Group benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].ns_per_iter > 0.0);
+        assert_eq!(c.results[0].id, "g/noop");
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", "p").id, "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline vendored `crossbeam` shim exposing `crossbeam::thread::scope`
+//! on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! API differences from upstream are minimal: a panicking child thread
+//! propagates out of `scope` (std semantics) instead of being collected
+//! into the returned `Result`, so the `Err` arm is never produced. Callers
+//! in this workspace only `.expect()` the result, which behaves the same.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payloads of panicked child threads (never produced by this
+    /// shim; see module docs).
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; lets workers borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The closure receives the scope
+        /// so it can spawn further workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handoff = Scope { inner: self.inner };
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handoff)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (o, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *o = x * 10;
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

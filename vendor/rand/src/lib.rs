@@ -1,0 +1,338 @@
+//! Offline vendored shim of the `rand 0.8` API subset used by this
+//! workspace: [`RngCore`], [`SeedableRng`], [`Rng`] (with `gen` and
+//! `gen_range`), and [`seq::SliceRandom`] (`shuffle`/`choose`).
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors minimal, dependency-free stand-ins for its external
+//! crates (see `vendor/README.md`). Algorithms are chosen for determinism
+//! and reasonable statistical quality, not for compatibility with upstream
+//! `rand` byte streams: seeds written against upstream produce *different*
+//! (but equally reproducible) sequences here.
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let w = sm.next().to_le_bytes();
+            let n = (bytes.len() - i).min(8);
+            bytes[i..i + n].copy_from_slice(&w[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 (public-domain) — used for seed expansion.
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// High-level sampling helpers on any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` over its standard domain (`[0, 1)` for
+    /// floats, full range for integers, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform sample in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformSample,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from raw bits (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 24 uniform mantissa bits in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types with uniform range sampling.
+pub trait UniformSample: Sized + Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)`; `hi` must be `> lo`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw in `[lo, hi]`; `hi` must be `>= lo`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(mod_u64(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(mod_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_sint {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                lo.wrapping_add(mod_u64(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = ((hi as i64).wrapping_sub(lo as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(mod_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_sint!(i8, i16, i32, i64, isize);
+
+/// Unbiased-enough modular reduction (the workspace only needs
+/// determinism; spans are tiny relative to 2^64 so modulo bias is
+/// negligible).
+fn mod_u64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    rng.next_u64() % span
+}
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u: $t = Standard::sample(rng);
+                let x = lo + u * (hi - lo);
+                // Guard against rounding up to `hi`.
+                if x >= hi { <$t>::max(lo, hi - (hi - lo) * <$t>::EPSILON) } else { x }
+            }
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let u: $t = Standard::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Slice sampling helpers (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and choosing on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on empty slices.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Commonly imported names.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut sm = SplitMix64(self.0);
+            self.0 += 1;
+            sm.next()
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut r = Counter(0);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Counter(1);
+        for _ in 0..1000 {
+            let a = r.gen_range(3..17u32);
+            assert!((3..17).contains(&a));
+            let b = r.gen_range(2..=5usize);
+            assert!((2..=5).contains(&b));
+            let c = r.gen_range(-1.5..1.5f32);
+            assert!((-1.5..1.5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut r = Counter(7);
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline vendored [`ChaCha8Rng`]: a real ChaCha stream cipher with 8
+//! rounds driving the `rand` shim's [`RngCore`]/[`SeedableRng`] traits.
+//!
+//! The implementation follows RFC 7539's state layout (4 constant words,
+//! 8 key words, a 64-bit block counter and a 64-bit stream id) so the
+//! word-position API (`get_word_pos`/`set_word_pos`) behaves like the
+//! upstream crate: positions count 32-bit words of the key stream, 16 per
+//! block. Output bytes differ from upstream `rand_chacha` (seeding and
+//! word-extraction details are simplified) but are fully deterministic in
+//! the seed.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS_PER_BLOCK: u128 = 16;
+
+/// ChaCha with 8 rounds, seekable by 32-bit word position.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// 8 key words.
+    key: [u32; 8],
+    /// 64-bit stream id (nonce words).
+    stream: u64,
+    /// Block counter of the *next* block to generate.
+    counter: u64,
+    /// Current block's key stream.
+    buf: [u32; 16],
+    /// Next word index into `buf`; 16 means "buffer exhausted".
+    index: usize,
+}
+
+impl PartialEq for ChaCha8Rng {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+            && self.stream == other.stream
+            && self.get_word_pos() == other.get_word_pos()
+    }
+}
+impl Eq for ChaCha8Rng {}
+
+impl ChaCha8Rng {
+    /// Current position in the key stream, counted in 32-bit words.
+    pub fn get_word_pos(&self) -> u128 {
+        // `counter` is the next block; the buffered block is counter - 1
+        // unless the buffer is exhausted or never filled.
+        if self.index >= 16 {
+            u128::from(self.counter) * WORDS_PER_BLOCK
+        } else {
+            (u128::from(self.counter) - 1) * WORDS_PER_BLOCK + self.index as u128
+        }
+    }
+
+    /// Seek to a position in the key stream, counted in 32-bit words.
+    pub fn set_word_pos(&mut self, word_offset: u128) {
+        let block = (word_offset / WORDS_PER_BLOCK) as u64;
+        let word = (word_offset % WORDS_PER_BLOCK) as usize;
+        self.counter = block;
+        self.index = 16;
+        if word != 0 {
+            self.refill();
+            self.index = word;
+        }
+    }
+
+    /// Select one of 2^64 independent streams.
+    pub fn set_stream(&mut self, stream: u64) {
+        if stream != self.stream {
+            self.stream = stream;
+            let pos = self.get_word_pos();
+            self.index = 16;
+            self.counter = (pos / WORDS_PER_BLOCK) as u64;
+            let word = (pos % WORDS_PER_BLOCK) as usize;
+            if word != 0 {
+                self.refill();
+                self.index = word;
+            }
+        }
+    }
+
+    /// Generate the block at `counter` into `buf` and advance `counter`.
+    fn refill(&mut self) {
+        let mut x = [0u32; 16];
+        // "expand 32-byte k"
+        x[0] = 0x61707865;
+        x[1] = 0x3320646e;
+        x[2] = 0x79622d32;
+        x[3] = 0x6b206574;
+        x[4..12].copy_from_slice(&self.key);
+        x[12] = self.counter as u32;
+        x[13] = (self.counter >> 32) as u32;
+        x[14] = self.stream as u32;
+        x[15] = (self.stream >> 32) as u32;
+
+        let input = x;
+        // 8 rounds = 4 double rounds.
+        for _ in 0..4 {
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (o, (a, b)) in self.buf.iter_mut().zip(x.iter().zip(input.iter())) {
+            *o = a.wrapping_add(*b);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+#[inline(always)]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            stream: 0,
+            counter: 0,
+            buf: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// ChaCha with 12 rounds (same construction, more rounds).
+pub type ChaCha12Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn word_pos_roundtrip() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        // Consume 37 words.
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        assert_eq!(a.get_word_pos(), 37);
+        let upcoming: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        a.set_word_pos(37);
+        let replay: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        assert_eq!(upcoming, replay);
+    }
+
+    #[test]
+    fn set_word_pos_far_ahead_decouples_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let head: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_word_pos(1 << 20);
+        let far: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_ne!(head, far);
+        assert_eq!(b.get_word_pos(), (1 << 20) + 64);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        b.set_stream(9);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}
