@@ -10,7 +10,9 @@
 use criterion::{black_box, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use spg_core::{CoarsenConfig, CoarsenModel, MetisCoarsePlacer, ReinforceTrainer, TrainOptions};
+use spg_core::{
+    CoarsenConfig, CoarsenModel, MetisCoarsePlacer, ReinforceTrainer, TelemetrySink, TrainOptions,
+};
 use spg_gen::{DatasetSpec, Setting};
 use spg_graph::StreamGraph;
 use spg_nn::Matrix;
@@ -19,6 +21,13 @@ use std::path::Path;
 const MATMUL_DIM: usize = 128;
 
 fn make_trainer(num_workers: usize) -> ReinforceTrainer<MetisCoarsePlacer> {
+    make_trainer_with_sink(num_workers, TelemetrySink::disabled())
+}
+
+fn make_trainer_with_sink(
+    num_workers: usize,
+    sink: TelemetrySink,
+) -> ReinforceTrainer<MetisCoarsePlacer> {
     let spec = DatasetSpec::scaled_down(Setting::Medium);
     let cluster = spec.cluster();
     let graphs: Vec<StreamGraph> = (0..6u64)
@@ -26,19 +35,18 @@ fn make_trainer(num_workers: usize) -> ReinforceTrainer<MetisCoarsePlacer> {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(5),
-        graphs,
-        cluster,
-        spec.source_rate,
-        TrainOptions {
-            metis_guided: false,
-            seed: 11,
-            num_workers,
-            ..Default::default()
-        },
-    )
+    ReinforceTrainer::builder(model, MetisCoarsePlacer::new(5))
+        .graphs(graphs)
+        .cluster(cluster)
+        .source_rate(spec.source_rate)
+        .options(
+            TrainOptions::new()
+                .metis_guided(false)
+                .seed(11)
+                .num_workers(num_workers),
+        )
+        .telemetry(sink)
+        .build()
 }
 
 fn bench_train_epoch(c: &mut Criterion, worker_counts: &[usize]) {
@@ -50,6 +58,13 @@ fn bench_train_epoch(c: &mut Criterion, worker_counts: &[usize]) {
             b.iter(|| black_box(t.train_epoch()))
         });
     }
+    // Telemetry overhead row: identical training, events discarded into a
+    // null writer. Compare against `workers/1` — the budget is <5%.
+    group.bench_function(BenchmarkId::new("telemetry", 1), |b| {
+        let sink = TelemetrySink::to_writer(Box::new(std::io::sink()));
+        let mut t = make_trainer_with_sink(1, sink);
+        b.iter(|| black_box(t.train_epoch()))
+    });
     group.finish();
 }
 

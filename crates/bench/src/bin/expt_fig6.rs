@@ -68,10 +68,7 @@ fn main() {
         let scratch_model = protocol.trained_coarsen_model(
             Setting::Large,
             &cfg,
-            &TrainOptions {
-                metis_guided: false,
-                ..Default::default()
-            },
+            &TrainOptions::new().metis_guided(false),
             "f6-scratch",
         );
         let scratch = spg_core::CoarsenAllocator::new(

@@ -151,10 +151,7 @@ pub fn curriculum_coarsen_metis(
         model,
         &placer,
         &levels,
-        &TrainOptions {
-            seed: protocol.seed ^ 0xC12,
-            ..Default::default()
-        },
+        &TrainOptions::new().seed(protocol.seed ^ 0xC12),
     );
     Checkpoint::from_model(&model).save(&path).ok();
     CoarsenAllocator::new(model, MetisCoarsePlacer::new(protocol.seed ^ 0x31))

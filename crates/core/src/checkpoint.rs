@@ -1,21 +1,66 @@
-//! Model checkpointing: config + parameter values as JSON.
+//! Model checkpointing: config + parameter values as versioned JSON.
+//!
+//! The on-disk format carries a `version` field so that a file written by
+//! an incompatible build fails with a clear error instead of a confusing
+//! deserialisation panic deep inside the weight arrays. The vendored serde
+//! derive has no `#[serde(...)]` attributes, so [`Checkpoint`] implements
+//! `Serialize`/`Deserialize` by hand over the `Value` model to do the
+//! version check up front.
 
 use crate::config::CoarsenConfig;
 use crate::model::CoarsenModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use spg_nn::Matrix;
 use std::io::{Read, Write};
 use std::path::Path;
 
+/// Version written into every checkpoint; bump on breaking format changes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
 /// A serialised model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Hyperparameters (architecture must match on load).
     pub config: CoarsenConfig,
     /// Parameter values in registration order.
     pub params: Vec<Matrix>,
+}
+
+impl Serialize for Checkpoint {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), CHECKPOINT_VERSION.serialize()),
+            ("config".to_string(), self.config.serialize()),
+            ("params".to_string(), self.params.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Checkpoint {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let version = match v.field("version") {
+            Ok(val) => u64::deserialize(val)?,
+            Err(_) => {
+                return Err(serde::Error(
+                    "checkpoint has no `version` field (written by a pre-versioning \
+                     build?); re-export it with a current build"
+                        .to_string(),
+                ))
+            }
+        };
+        if version != CHECKPOINT_VERSION {
+            return Err(serde::Error(format!(
+                "unsupported checkpoint version {version} \
+                 (this build supports {CHECKPOINT_VERSION})"
+            )));
+        }
+        Ok(Self {
+            config: CoarsenConfig::deserialize(v.field("config")?)?,
+            params: Vec::<Matrix>::deserialize(v.field("params")?)?,
+        })
+    }
 }
 
 impl Checkpoint {
@@ -78,6 +123,49 @@ mod tests {
 
         let after = restored.predict_probs(&g, &cluster, 1e4);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn checkpoint_carries_version_and_roundtrips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let json = serde_json::to_string(&Checkpoint::from_model(&model)).unwrap();
+        assert!(
+            json.contains(&format!("\"version\":{CHECKPOINT_VERSION}")),
+            "serialized checkpoint must carry the format version"
+        );
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.params.len(), model.params().snapshot().len());
+    }
+
+    #[test]
+    fn missing_version_is_a_clear_error() {
+        let err = serde_json::from_str::<Checkpoint>("{\"config\":{},\"params\":[]}")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no `version` field"), "got: {err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_clear_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let json = serde_json::to_string(&Checkpoint::from_model(&model)).unwrap();
+        let bumped = json.replace(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            "\"version\":99",
+        );
+        let err = serde_json::from_str::<Checkpoint>(&bumped)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("unsupported checkpoint version 99"),
+            "got: {err}"
+        );
+        assert!(
+            err.contains(&format!("supports {CHECKPOINT_VERSION}")),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -44,17 +44,16 @@ pub fn train_curriculum<P: CoarsePlacer + Clone + Sync>(
 ) -> (CoarsenModel, Vec<LevelStats>) {
     let mut history = Vec::with_capacity(levels.len());
     for (li, level) in levels.iter().enumerate() {
-        let mut opts = options.clone();
         // Decorrelate sampling noise between levels deterministically.
-        opts.seed = options.seed.wrapping_add(li as u64 * 0x9E37);
-        let mut trainer = ReinforceTrainer::new(
-            model,
-            placer.clone(),
-            level.graphs.clone(),
-            level.cluster,
-            level.source_rate,
-            opts,
-        );
+        let opts = options
+            .clone()
+            .seed(options.seed.wrapping_add(li as u64 * 0x9E37));
+        let mut trainer = ReinforceTrainer::builder(model, placer.clone())
+            .graphs(level.graphs.clone())
+            .cluster(level.cluster)
+            .source_rate(level.source_rate)
+            .options(opts)
+            .build();
         let mut stats = Vec::with_capacity(level.epochs);
         for _ in 0..level.epochs {
             stats.push(trainer.train_epoch());
@@ -108,10 +107,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
         let levels = vec![level(Setting::Small, 2, 2), level(Setting::Medium, 2, 1)];
-        let opts = TrainOptions {
-            metis_guided: false,
-            ..Default::default()
-        };
+        let opts = TrainOptions::new().metis_guided(false);
         let (trained, history) =
             train_curriculum(model, &MetisCoarsePlacer::new(3), &levels, &opts);
         assert_eq!(history.len(), 2);
@@ -124,10 +120,7 @@ mod tests {
     fn fine_tune_runs_one_level() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-        let opts = TrainOptions {
-            metis_guided: true,
-            ..Default::default()
-        };
+        let opts = TrainOptions::new().metis_guided(true);
         let (_m, stats) = fine_tune(
             model,
             &MetisCoarsePlacer::new(4),

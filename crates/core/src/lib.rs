@@ -36,5 +36,10 @@ pub use config::CoarsenConfig;
 pub use model::CoarsenModel;
 pub use pipeline::{CoarsePlacer, CoarsenAllocator, CoarsenOracleAllocator, MetisCoarsePlacer};
 pub use policy::{CoarseningPolicy, DecodeMode};
-pub use reinforce::{ReinforceTrainer, TrainOptions, TrainStats};
+pub use reinforce::{ReinforceTrainer, ReinforceTrainerBuilder, TrainOptions, TrainStats};
 pub use rollout::RewardCache;
+
+/// Re-export of the observability crate so downstream users can build
+/// sinks and parse event streams without a separate dependency.
+pub use spg_obs as telemetry;
+pub use spg_obs::TelemetrySink;

@@ -23,9 +23,21 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
 use spg_nn::{Adam, Tape};
+use spg_obs::{probe, ProbeSnapshot, TelemetrySink};
+use std::time::Instant;
 
 /// Trainer options.
+///
+/// Construct fluently — the struct is `#[non_exhaustive]` so new knobs can
+/// be added without breaking downstream code:
+///
+/// ```
+/// use spg_core::TrainOptions;
+/// let opts = TrainOptions::new().seed(7).metis_guided(false).num_workers(1);
+/// assert_eq!(opts.seed, 7);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TrainOptions {
     /// On-policy samples per step (paper: 3).
     pub on_policy_samples: usize,
@@ -62,6 +74,61 @@ impl Default for TrainOptions {
     }
 }
 
+impl TrainOptions {
+    /// The paper's defaults (same as [`Default`]), as a fluent base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of on-policy samples per step.
+    pub fn on_policy_samples(mut self, n: usize) -> Self {
+        self.on_policy_samples = n;
+        self
+    }
+
+    /// Set the number of buffer samples mixed in per step.
+    pub fn buffer_samples(mut self, n: usize) -> Self {
+        self.buffer_samples = n;
+        self
+    }
+
+    /// Set the number of historically-best samples kept per graph.
+    pub fn buffer_capacity(mut self, n: usize) -> Self {
+        self.buffer_capacity = n;
+        self
+    }
+
+    /// Set the Adam learning rate.
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Enable/disable Metis-guided buffer seeding.
+    pub fn metis_guided(mut self, on: bool) -> Self {
+        self.metis_guided = on;
+        self
+    }
+
+    /// Enable/disable dropping guided samples once beaten.
+    pub fn drop_guided_when_beaten(mut self, on: bool) -> Self {
+        self.drop_guided_when_beaten = on;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the rollout worker-thread count.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        self.num_workers = n;
+        self
+    }
+}
+
 /// Statistics of one training epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainStats {
@@ -91,6 +158,23 @@ struct Instance {
 }
 
 /// The REINFORCE trainer. Owns the model during training.
+///
+/// Construct with [`ReinforceTrainer::builder`]:
+///
+/// ```no_run
+/// # use spg_core::{CoarsenConfig, CoarsenModel, MetisCoarsePlacer, ReinforceTrainer, TrainOptions};
+/// # use rand::SeedableRng;
+/// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// # let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+/// # let graphs = Vec::new();
+/// # let cluster = spg_graph::ClusterSpec::paper_medium(4);
+/// let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(1))
+///     .graphs(graphs)
+///     .cluster(cluster)
+///     .source_rate(1e4)
+///     .options(TrainOptions::new().seed(7))
+///     .build();
+/// ```
 pub struct ReinforceTrainer<P: CoarsePlacer> {
     /// The model being trained.
     pub model: CoarsenModel,
@@ -105,24 +189,95 @@ pub struct ReinforceTrainer<P: CoarsePlacer> {
     source_rate: f64,
     rng: ChaCha8Rng,
     cache: RewardCache,
+    sink: TelemetrySink,
+    epochs_run: u64,
+    /// Cache counters at the end of the previous epoch (for deltas).
+    prev_cache: (u64, u64),
+    /// Probe snapshots at the end of the previous epoch, aligned with
+    /// [`probe::all`].
+    prev_probes: [ProbeSnapshot; 3],
 }
 
-impl<P: CoarsePlacer> ReinforceTrainer<P> {
-    /// Prepare a trainer over `graphs`. Precomputes rates/features and, if
-    /// configured, Metis-guided buffer seeds.
-    pub fn new(
-        model: CoarsenModel,
-        placer: P,
-        graphs: Vec<StreamGraph>,
-        cluster: ClusterSpec,
-        source_rate: f64,
-        options: TrainOptions,
-    ) -> Self {
+/// Fluent construction of a [`ReinforceTrainer`]. Obtain via
+/// [`ReinforceTrainer::builder`]; `graphs`, `cluster`, and `source_rate`
+/// are required (or [`Self::dataset`] for all three), options and the
+/// telemetry sink are optional.
+pub struct ReinforceTrainerBuilder<P: CoarsePlacer> {
+    model: CoarsenModel,
+    placer: P,
+    graphs: Vec<StreamGraph>,
+    cluster: Option<ClusterSpec>,
+    source_rate: Option<f64>,
+    options: TrainOptions,
+    sink: TelemetrySink,
+}
+
+impl<P: CoarsePlacer> ReinforceTrainerBuilder<P> {
+    /// Set the training graphs.
+    pub fn graphs(mut self, graphs: Vec<StreamGraph>) -> Self {
+        self.graphs = graphs;
+        self
+    }
+
+    /// Set the cluster environment.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Set the source tuple rate (tuples/second).
+    pub fn source_rate(mut self, rate: f64) -> Self {
+        self.source_rate = Some(rate);
+        self
+    }
+
+    /// Take graphs, cluster, and source rate from a serialised dataset.
+    pub fn dataset(mut self, ds: spg_graph::serialize::Dataset) -> Self {
+        self.graphs = ds.graphs;
+        self.cluster = Some(ds.cluster);
+        self.source_rate = Some(ds.source_rate);
+        self
+    }
+
+    /// Set all trainer options at once.
+    pub fn options(mut self, options: TrainOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Shorthand for setting only the RNG seed on the current options.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Attach a telemetry sink (default: disabled). Telemetry is
+    /// observability only — training results are bitwise identical with
+    /// any sink.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Build the trainer: precomputes rates/features and, if configured,
+    /// Metis-guided buffer seeds.
+    ///
+    /// # Panics
+    /// If `cluster` or `source_rate` was not provided.
+    pub fn build(self) -> ReinforceTrainer<P> {
+        let cluster = self.cluster.expect(
+            "ReinforceTrainer builder: cluster not set (call .cluster(..) or .dataset(..))",
+        );
+        let source_rate = self.source_rate.expect(
+            "ReinforceTrainer builder: source_rate not set (call .source_rate(..) or .dataset(..))",
+        );
+        let (model, placer, options, sink) = (self.model, self.placer, self.options, self.sink);
         let policy = CoarseningPolicy::from_config(&model.config);
         let adam = Adam::new(options.lr);
         let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
 
-        let mut instances: Vec<Instance> = graphs
+        let mut instances: Vec<Instance> = self
+            .graphs
             .into_iter()
             .map(|graph| {
                 let rates = TupleRates::compute(&graph, source_rate);
@@ -171,7 +326,8 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
         rng.set_word_pos(1 << 20);
 
         let cache = RewardCache::new(instances.len());
-        Self {
+        let prev_probes = probe::all().map(|p| p.snapshot());
+        ReinforceTrainer {
             model,
             placer,
             options,
@@ -182,7 +338,45 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
             source_rate,
             rng,
             cache,
+            sink,
+            epochs_run: 0,
+            prev_cache: (0, 0),
+            prev_probes,
         }
+    }
+}
+
+impl<P: CoarsePlacer> ReinforceTrainer<P> {
+    /// Start building a trainer for `model` with `placer` as the placement
+    /// backend. See [`ReinforceTrainerBuilder`].
+    pub fn builder(model: CoarsenModel, placer: P) -> ReinforceTrainerBuilder<P> {
+        ReinforceTrainerBuilder {
+            model,
+            placer,
+            graphs: Vec::new(),
+            cluster: None,
+            source_rate: None,
+            options: TrainOptions::default(),
+            sink: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Positional constructor, kept for compatibility; prefer
+    /// [`ReinforceTrainer::builder`].
+    pub fn new(
+        model: CoarsenModel,
+        placer: P,
+        graphs: Vec<StreamGraph>,
+        cluster: ClusterSpec,
+        source_rate: f64,
+        options: TrainOptions,
+    ) -> Self {
+        Self::builder(model, placer)
+            .graphs(graphs)
+            .cluster(cluster)
+            .source_rate(source_rate)
+            .options(options)
+            .build()
     }
 
     /// Number of training graphs.
@@ -195,9 +389,38 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
         &self.cache
     }
 
+    /// The attached telemetry sink (disabled unless set on the builder).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.sink
+    }
+
     /// Consume the trainer, returning the trained model.
     pub fn into_model(self) -> CoarsenModel {
         self.model
+    }
+}
+
+/// Per-epoch metric accumulators, only filled while a telemetry sink is
+/// enabled (their inputs — entropy, gradient norms — cost extra compute).
+struct EpochScratch {
+    reward_min: f64,
+    reward_max: f64,
+    baseline_sum: f64,
+    entropy_sum: f64,
+    grad_norm_sum: f64,
+    steps: usize,
+}
+
+impl Default for EpochScratch {
+    fn default() -> Self {
+        Self {
+            reward_min: f64::INFINITY,
+            reward_max: f64::NEG_INFINITY,
+            baseline_sum: 0.0,
+            entropy_sum: 0.0,
+            grad_norm_sum: 0.0,
+            steps: 0,
+        }
     }
 }
 
@@ -207,13 +430,22 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
 /// learned placers remain usable for inference-side pipelines.
 impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
     /// Run one epoch (one policy-gradient step per graph).
+    ///
+    /// When a telemetry sink is attached, the epoch emits spans
+    /// (`epoch` > `step.forward` / `step.rollout` / `step.backprop`),
+    /// per-epoch reward/baseline/entropy/gradient gauges, reward-cache and
+    /// simulator/partitioner counters, and per-sample rollout timing
+    /// histograms. Telemetry never changes results: `TrainStats` is
+    /// bitwise identical with the sink on or off.
     pub fn train_epoch(&mut self) -> TrainStats {
+        let epoch_span = self.sink.span("epoch");
+        let mut scratch = self.sink.enabled().then(EpochScratch::default);
         let mut sum_reward = 0.0;
         let mut n_rewards = 0usize;
         let mut steps = 0usize;
 
         for gi in 0..self.instances.len() {
-            if let Some(mean_r) = self.step(gi) {
+            if let Some(mean_r) = self.step(gi, scratch.as_mut()) {
                 sum_reward += mean_r;
                 n_rewards += 1;
                 steps += 1;
@@ -230,7 +462,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
                 / self.instances.len() as f64
         };
 
-        TrainStats {
+        let stats = TrainStats {
             mean_reward: if n_rewards > 0 {
                 sum_reward / n_rewards as f64
             } else {
@@ -238,15 +470,63 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             },
             mean_best,
             steps,
+        };
+        self.epochs_run += 1;
+        if let Some(sc) = scratch {
+            self.emit_epoch_telemetry(&stats, &sc);
+        }
+        drop(epoch_span);
+        stats
+    }
+
+    /// Emit the per-epoch metric events (sink known to be enabled).
+    fn emit_epoch_telemetry(&mut self, stats: &TrainStats, sc: &EpochScratch) {
+        let sink = &self.sink;
+        sink.gauge("epoch", self.epochs_run as f64);
+        sink.gauge("reward.mean", stats.mean_reward);
+        sink.gauge("reward.best", stats.mean_best);
+        if sc.reward_min.is_finite() {
+            sink.gauge("reward.min", sc.reward_min);
+            sink.gauge("reward.max", sc.reward_max);
+        }
+        if sc.steps > 0 {
+            let n = sc.steps as f64;
+            sink.gauge("baseline.mean", sc.baseline_sum / n);
+            sink.gauge("entropy.mean", sc.entropy_sum / n);
+            sink.gauge("grad_norm.mean", sc.grad_norm_sum / n);
+        }
+        sink.gauge(
+            "buffer.size",
+            self.instances.iter().map(|i| i.buffer.len()).sum::<usize>() as f64,
+        );
+        sink.gauge("rollout.workers", self.options.num_workers.max(1) as f64);
+
+        // Reward memo-cache: per-epoch deltas + the absolute entry count.
+        let (hits, misses) = (self.cache.hits(), self.cache.misses());
+        sink.counter("cache.hits", hits - self.prev_cache.0);
+        sink.counter("cache.misses", misses - self.prev_cache.1);
+        self.prev_cache = (hits, misses);
+        sink.gauge("cache.entries", self.cache.entries() as f64);
+
+        // Simulator / partitioner probes: per-epoch deltas. Exact for a
+        // lone trainer; upper bounds if other work shares the process.
+        for (probe, prev) in probe::all().into_iter().zip(&mut self.prev_probes) {
+            let snap = probe.snapshot();
+            let d = snap.delta(*prev);
+            *prev = snap;
+            sink.counter(&format!("{}.calls", probe.name()), d.calls);
+            sink.counter(&format!("{}.us", probe.name()), d.us);
         }
     }
 
     /// One policy-gradient step on graph `gi`. Returns the mean on-policy
-    /// reward, or `None` if the graph has no edges.
-    fn step(&mut self, gi: usize) -> Option<f64> {
+    /// reward, or `None` if the graph has no edges. `scratch` collects
+    /// telemetry-only metrics when a sink is enabled.
+    fn step(&mut self, gi: usize, scratch: Option<&mut EpochScratch>) -> Option<f64> {
         let opts = self.options.clone();
 
         // Forward pass (kept for the gradient).
+        let forward_span = self.sink.span("step.forward");
         let mut tape = Tape::new();
         let (logits, probs) = {
             let inst = &self.instances[gi];
@@ -259,6 +539,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
                 .collect();
             (logits, probs)
         };
+        drop(forward_span);
 
         // On-policy rollouts on the deterministic engine: pre-draw one
         // decode seed per sample from the master RNG, so every sample's
@@ -268,6 +549,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         let seeds: Vec<u64> = (0..opts.on_policy_samples)
             .map(|_| self.rng.gen())
             .collect();
+        let rollout_span = self.sink.span("step.rollout");
         let outcomes: Vec<RolloutOutcome> = {
             let inst = &self.instances[gi];
             let policy = &self.policy;
@@ -275,14 +557,19 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             let cluster = &self.cluster;
             let probs = &probs;
             let priority = &priority[..];
+            // Per-sample wall-clock goes to the sink from worker threads;
+            // the clock is only read while telemetry is on.
+            let sink = &self.sink;
+            let timed = sink.enabled();
             // Workers read one cache snapshot for the whole batch;
             // misses are inserted afterwards in sample order.
             let cache = self.cache.graph(gi);
             rollout::run_ordered(opts.num_workers, seeds.len(), |i| {
+                let t0 = timed.then(Instant::now);
                 let mut rng = ChaCha8Rng::seed_from_u64(seeds[i]);
                 let decisions = policy.decode(probs, DecodeMode::Sample, &mut rng);
                 let key = rollout::collapse_key(priority, &decisions);
-                match cache.get(&key).copied() {
+                let outcome = match cache.get(&key).copied() {
                     Some(reward) => RolloutOutcome {
                         decisions,
                         key,
@@ -306,9 +593,14 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
                             cached: false,
                         }
                     }
+                };
+                if let Some(t0) = t0 {
+                    sink.hist("rollout.sample_us", t0.elapsed().as_secs_f64() * 1e6);
                 }
+                outcome
             })
         };
+        drop(rollout_span);
 
         let mut samples: Vec<(Vec<bool>, f64, bool)> = Vec::new();
         let mut on_policy_sum = 0.0;
@@ -331,6 +623,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         }
 
         // Policy gradient with mean-reward baseline.
+        let backprop_span = self.sink.span("step.backprop");
         let baseline: f64 = samples.iter().map(|(_, r, _)| *r).sum::<f64>() / samples.len() as f64;
         let n = samples.len() as f32;
         let mut loss_terms = Vec::with_capacity(samples.len());
@@ -350,7 +643,45 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         }
         self.model.params().zero_grad();
         tape.backward(loss);
+        if let Some(sc) = scratch {
+            // Telemetry-only metrics (the sink is enabled): min/max of the
+            // on-policy rewards, the step baseline, mean Bernoulli entropy
+            // of the policy, and the global gradient L2 norm. None of this
+            // feeds back into the update.
+            for (_, reward, guided) in &samples[..opts.on_policy_samples.min(samples.len())] {
+                debug_assert!(!*guided);
+                sc.reward_min = sc.reward_min.min(*reward);
+                sc.reward_max = sc.reward_max.max(*reward);
+            }
+            sc.baseline_sum += baseline;
+            let entropy: f64 = probs
+                .iter()
+                .map(|&p| {
+                    let p = f64::from(p).clamp(1e-12, 1.0 - 1e-12);
+                    -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+                })
+                .sum::<f64>()
+                / probs.len().max(1) as f64;
+            sc.entropy_sum += entropy;
+            let grad_sq: f64 = self
+                .model
+                .params()
+                .params()
+                .iter()
+                .map(|p| {
+                    p.0.borrow()
+                        .grad
+                        .data
+                        .iter()
+                        .map(|&g| f64::from(g) * f64::from(g))
+                        .sum::<f64>()
+                })
+                .sum();
+            sc.grad_norm_sum += grad_sq.sqrt();
+            sc.steps += 1;
+        }
         self.adam.step(self.model.params());
+        drop(backprop_span);
 
         // Buffer update: keep the top `buffer_capacity` by reward; drop
         // guided samples once an on-policy sample beats them.
@@ -460,19 +791,17 @@ mod tests {
             .collect();
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-        ReinforceTrainer::new(
-            model,
-            MetisCoarsePlacer::new(5),
-            graphs,
-            cluster,
-            spec.source_rate,
-            TrainOptions {
-                metis_guided,
-                seed: 9,
-                num_workers,
-                ..Default::default()
-            },
-        )
+        ReinforceTrainer::builder(model, MetisCoarsePlacer::new(5))
+            .graphs(graphs)
+            .cluster(cluster)
+            .source_rate(spec.source_rate)
+            .options(
+                TrainOptions::new()
+                    .metis_guided(metis_guided)
+                    .seed(9)
+                    .num_workers(num_workers),
+            )
+            .build()
     }
 
     fn trainer(n_graphs: usize, metis_guided: bool) -> ReinforceTrainer<MetisCoarsePlacer> {
@@ -579,19 +908,17 @@ mod tests {
         let cluster = spg_graph::ClusterSpec::new(2, 0.2, 100.0);
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-        let mut t = ReinforceTrainer::new(
-            model,
-            MetisCoarsePlacer::new(5),
-            vec![g],
-            cluster,
-            1e4,
-            TrainOptions {
-                metis_guided: false,
-                seed: 9,
-                num_workers: 1,
-                ..Default::default()
-            },
-        );
+        let mut t = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(5))
+            .graphs(vec![g])
+            .cluster(cluster)
+            .source_rate(1e4)
+            .options(
+                TrainOptions::new()
+                    .metis_guided(false)
+                    .seed(9)
+                    .num_workers(1),
+            )
+            .build();
         let epochs = 10;
         for _ in 0..epochs {
             t.train_epoch();

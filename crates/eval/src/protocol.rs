@@ -136,14 +136,13 @@ impl Protocol {
         let (train, _) = self.datasets(setting);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x7EA);
         let model = CoarsenModel::new(config.clone(), &mut rng);
-        let mut trainer = ReinforceTrainer::new(
-            model,
-            MetisCoarsePlacer::new(self.seed ^ 0x9A),
-            train.graphs,
-            train.cluster,
-            train.source_rate,
-            options.clone(),
-        );
+        let mut trainer =
+            ReinforceTrainer::builder(model, MetisCoarsePlacer::new(self.seed ^ 0x9A))
+                .graphs(train.graphs)
+                .cluster(train.cluster)
+                .source_rate(train.source_rate)
+                .options(options.clone())
+                .build();
         for _ in 0..self.epochs() {
             trainer.train_epoch();
         }

@@ -1,0 +1,760 @@
+//! # spg-obs
+//!
+//! Zero-dependency observability for training and simulation: hierarchical
+//! spans with monotonic wall-clock timing, named counters / gauges /
+//! histograms, and a JSONL event sink.
+//!
+//! Design constraints (enforced by tests in `spg` / `spg-core`):
+//!
+//! * **Opt-in and invisible.** The default [`TelemetrySink`] is disabled
+//!   and every instrument call is a branch on an `Option` — no clock
+//!   reads, no allocation, no locking. Telemetry never feeds back into
+//!   results: `TrainStats` is bitwise identical with the sink on or off.
+//! * **Thread-safe.** Sinks are cheap `Arc` clones and can be written
+//!   from rollout worker threads. By convention only the *driving* thread
+//!   opens spans (so span nesting in the file is well-formed); workers
+//!   emit point events (histograms, counters).
+//! * **Self-describing.** One JSON object per line; the schema is fixed
+//!   (see [`Event`]) and [`report::Summary`] turns a metrics file back
+//!   into a per-phase time breakdown, cache hit rates, and metric curves.
+//!
+//! Cross-crate instrumentation of pure hot paths (the simulators, the
+//! k-way partitioner) goes through process-wide [`probe`] counters instead
+//! of a sink handle, so their signatures stay untouched; the trainer
+//! snapshots probe deltas into its sink once per epoch.
+//!
+//! ## Event schema
+//!
+//! ```text
+//! {"t_us":12,"ev":"span_open","name":"epoch","depth":0}
+//! {"t_us":9317,"ev":"span_close","name":"epoch","depth":0,"dur_us":9305}
+//! {"t_us":9318,"ev":"counter","name":"cache.hits","value":12}
+//! {"t_us":9318,"ev":"gauge","name":"reward.mean","value":0.5321}
+//! {"t_us":421,"ev":"hist","name":"rollout.sample_us","value":389.0}
+//! ```
+//!
+//! `t_us` is microseconds since the sink was created (monotonic clock).
+//! Counters carry additive deltas; gauges carry absolute values;
+//! histograms carry one observation per event.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod probe;
+pub mod report;
+
+pub use probe::{Probe, ProbeSnapshot};
+pub use report::Summary;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One telemetry event — one line of a JSONL metrics file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span started. `depth` is the nesting level (0 = top).
+    SpanOpen {
+        /// Microseconds since sink creation.
+        t_us: u64,
+        /// Span name (e.g. `epoch`, `step.rollout`).
+        name: String,
+        /// Nesting depth at open time.
+        depth: u64,
+    },
+    /// A span finished; `dur_us` is its wall-clock duration.
+    SpanClose {
+        /// Microseconds since sink creation (at close).
+        t_us: u64,
+        /// Span name, matching the corresponding open.
+        name: String,
+        /// Nesting depth the span was opened at.
+        depth: u64,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+    },
+    /// An additive counter increment.
+    Counter {
+        /// Microseconds since sink creation.
+        t_us: u64,
+        /// Counter name (e.g. `cache.hits`).
+        name: String,
+        /// Delta added at this point.
+        value: u64,
+    },
+    /// An absolute gauge observation.
+    Gauge {
+        /// Microseconds since sink creation.
+        t_us: u64,
+        /// Gauge name (e.g. `reward.mean`).
+        name: String,
+        /// Value at this point.
+        value: f64,
+    },
+    /// One histogram observation.
+    Hist {
+        /// Microseconds since sink creation.
+        t_us: u64,
+        /// Histogram name (e.g. `rollout.sample_us`).
+        name: String,
+        /// The observation.
+        value: f64,
+    },
+}
+
+/// Write an `f64` as JSON (non-finite values become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escape a string for a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Event {
+    /// Render as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Event::SpanOpen { t_us, name, depth } => format!(
+                "{{\"t_us\":{t_us},\"ev\":\"span_open\",\"name\":{},\"depth\":{depth}}}",
+                json_str(name)
+            ),
+            Event::SpanClose {
+                t_us,
+                name,
+                depth,
+                dur_us,
+            } => format!(
+                "{{\"t_us\":{t_us},\"ev\":\"span_close\",\"name\":{},\"depth\":{depth},\"dur_us\":{dur_us}}}",
+                json_str(name)
+            ),
+            Event::Counter { t_us, name, value } => format!(
+                "{{\"t_us\":{t_us},\"ev\":\"counter\",\"name\":{},\"value\":{value}}}",
+                json_str(name)
+            ),
+            Event::Gauge { t_us, name, value } => format!(
+                "{{\"t_us\":{t_us},\"ev\":\"gauge\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                json_f64(*value)
+            ),
+            Event::Hist { t_us, name, value } => format!(
+                "{{\"t_us\":{t_us},\"ev\":\"hist\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                json_f64(*value)
+            ),
+        }
+    }
+
+    /// Parse one JSONL line back into an [`Event`]. Errors name what was
+    /// malformed or missing.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| -> Result<&Scalar, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let name = get("name")?.as_str()?.to_string();
+        let t_us = get("t_us")?.as_u64()?;
+        match get("ev")?.as_str()? {
+            "span_open" => Ok(Event::SpanOpen {
+                t_us,
+                name,
+                depth: get("depth")?.as_u64()?,
+            }),
+            "span_close" => Ok(Event::SpanClose {
+                t_us,
+                name,
+                depth: get("depth")?.as_u64()?,
+                dur_us: get("dur_us")?.as_u64()?,
+            }),
+            "counter" => Ok(Event::Counter {
+                t_us,
+                name,
+                value: get("value")?.as_u64()?,
+            }),
+            "gauge" => Ok(Event::Gauge {
+                t_us,
+                name,
+                value: get("value")?.as_f64()?,
+            }),
+            "hist" => Ok(Event::Hist {
+                t_us,
+                name,
+                value: get("value")?.as_f64()?,
+            }),
+            other => Err(format!("unknown event kind `{other}`")),
+        }
+    }
+
+    /// The event's name field.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::SpanOpen { name, .. }
+            | Event::SpanClose { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Hist { name, .. } => name,
+        }
+    }
+}
+
+/// A scalar field of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number, kept as literal text.
+    Num(String),
+    /// JSON `null` (non-finite gauge/hist values).
+    Null,
+}
+
+impl Scalar {
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Scalar::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Scalar::Num(t) => t.parse().map_err(|_| format!("invalid integer `{t}`")),
+            other => Err(format!("expected integer, got {other:?}")),
+        }
+    }
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Scalar::Num(t) => t.parse().map_err(|_| format!("invalid number `{t}`")),
+            Scalar::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+/// Parse a single-line flat JSON object (`{"k":scalar,...}`) — the full
+/// event schema; nested containers are rejected.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    let expect = |pos: &mut usize, b: u8| -> Result<(), String> {
+        if *pos < bytes.len() && bytes[*pos] == b {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, *pos))
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Result<String, String> {
+        expect(pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = bytes.get(*pos) else {
+                return Err("unterminated string".to_string());
+            };
+            *pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = bytes.get(*pos) else {
+                        return Err("dangling escape".to_string());
+                    };
+                    *pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            *pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                b => out.push(b as char),
+            }
+        }
+    };
+
+    skip_ws(&mut pos);
+    expect(&mut pos, b'{')?;
+    skip_ws(&mut pos);
+    if pos < bytes.len() && bytes[pos] == b'}' {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut pos);
+        let key = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        expect(&mut pos, b':')?;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => Scalar::Str(parse_string(&mut pos)?),
+            Some(b'n') => {
+                if bytes.get(pos..pos + 4) == Some(b"null") {
+                    pos += 4;
+                    Scalar::Null
+                } else {
+                    return Err(format!("invalid token at byte {pos}"));
+                }
+            }
+            Some(_) => {
+                let start = pos;
+                while pos < bytes.len() && !matches!(bytes[pos], b',' | b'}') {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos])
+                    .map_err(|_| "invalid utf8 in number")?
+                    .trim()
+                    .to_string();
+                if text.parse::<f64>().is_err() {
+                    return Err(format!("invalid number `{text}` for field `{key}`"));
+                }
+                Scalar::Num(text)
+            }
+            None => return Err("truncated object".to_string()),
+        };
+        fields.push((key, value));
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => {
+                pos += 1;
+                skip_ws(&mut pos);
+                if pos != bytes.len() {
+                    return Err(format!("trailing characters at byte {pos}"));
+                }
+                return Ok(fields);
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sink
+// ---------------------------------------------------------------------------
+
+/// Where emitted lines go.
+enum Out {
+    /// In-memory buffer (tests, benches, `spg report` round-trips).
+    Memory(Vec<String>),
+    /// Any writer — `spg train --metrics` uses a buffered file.
+    Writer(Box<dyn Write + Send>),
+}
+
+struct SinkInner {
+    start: Instant,
+    depth: AtomicU64,
+    out: Mutex<Out>,
+}
+
+/// A telemetry sink: disabled by default, cheap to clone (`Arc`), safe to
+/// write from worker threads.
+///
+/// ```
+/// let sink = spg_obs::TelemetrySink::memory();
+/// {
+///     let _epoch = sink.span("epoch");
+///     sink.counter("cache.hits", 3);
+///     sink.gauge("reward.mean", 0.5);
+/// }
+/// assert_eq!(sink.lines().len(), 4); // open + counter + gauge + close
+/// ```
+#[derive(Clone, Default)]
+pub struct TelemetrySink(Option<Arc<SinkInner>>);
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TelemetrySink(enabled)"
+        } else {
+            "TelemetrySink(disabled)"
+        })
+    }
+}
+
+impl TelemetrySink {
+    /// The no-op sink: every instrument call is a single branch.
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// Collect lines in memory; read them back with [`Self::lines`].
+    pub fn memory() -> Self {
+        Self::with_out(Out::Memory(Vec::new()))
+    }
+
+    /// Append JSONL to `path` (truncates an existing file).
+    pub fn jsonl_file(path: &Path) -> std::io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(Self::with_out(Out::Writer(Box::new(
+            std::io::BufWriter::new(f),
+        ))))
+    }
+
+    /// Emit JSONL to an arbitrary writer.
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Self {
+        Self::with_out(Out::Writer(w))
+    }
+
+    fn with_out(out: Out) -> Self {
+        // Any live sink turns on probe timing (sticky, process-wide): the
+        // pure hot paths then pay two clock reads per probed call, which
+        // the trainer reads back as per-epoch deltas.
+        probe::enable_timing();
+        Self(Some(Arc::new(SinkInner {
+            start: Instant::now(),
+            depth: AtomicU64::new(0),
+            out: Mutex::new(out),
+        })))
+    }
+
+    /// Whether events are recorded. Callers may use this to skip
+    /// *computing* expensive metric inputs; emission itself is always safe.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    fn now_us(inner: &SinkInner) -> u64 {
+        inner.start.elapsed().as_micros() as u64
+    }
+
+    fn write_line(inner: &SinkInner, line: &str) {
+        let mut out = inner.out.lock().expect("telemetry sink poisoned");
+        match &mut *out {
+            Out::Memory(lines) => lines.push(line.to_string()),
+            Out::Writer(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Emit a pre-built event (timestamp is taken as-is).
+    pub fn emit(&self, event: &Event) {
+        if let Some(inner) = &self.0 {
+            Self::write_line(inner, &event.to_json_line());
+        }
+    }
+
+    /// Open a span; the returned guard emits the matching close (with
+    /// wall-clock duration) when dropped. Only the driving thread should
+    /// open spans — workers use [`Self::hist`] / [`Self::counter`].
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard(None),
+            Some(inner) => {
+                let depth = inner.depth.fetch_add(1, Ordering::Relaxed);
+                let opened = Instant::now();
+                let t_us = Self::now_us(inner);
+                Self::write_line(
+                    inner,
+                    &Event::SpanOpen {
+                        t_us,
+                        name: name.to_string(),
+                        depth,
+                    }
+                    .to_json_line(),
+                );
+                SpanGuard(Some(SpanGuardInner {
+                    sink: Arc::clone(inner),
+                    name,
+                    depth,
+                    opened,
+                }))
+            }
+        }
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            Self::write_line(
+                inner,
+                &Event::Counter {
+                    t_us: Self::now_us(inner),
+                    name: name.to_string(),
+                    value: delta,
+                }
+                .to_json_line(),
+            );
+        }
+    }
+
+    /// Record the absolute value of gauge `name`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            Self::write_line(
+                inner,
+                &Event::Gauge {
+                    t_us: Self::now_us(inner),
+                    name: name.to_string(),
+                    value,
+                }
+                .to_json_line(),
+            );
+        }
+    }
+
+    /// Record one observation of histogram `name`.
+    pub fn hist(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            Self::write_line(
+                inner,
+                &Event::Hist {
+                    t_us: Self::now_us(inner),
+                    name: name.to_string(),
+                    value,
+                }
+                .to_json_line(),
+            );
+        }
+    }
+
+    /// Flush a writer-backed sink (no-op otherwise).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            if let Out::Writer(w) = &mut *inner.out.lock().expect("telemetry sink poisoned") {
+                let _ = w.flush();
+            }
+        }
+    }
+
+    /// Snapshot of a memory sink's lines (empty for other sinks).
+    pub fn lines(&self) -> Vec<String> {
+        match &self.0 {
+            Some(inner) => match &*inner.out.lock().expect("telemetry sink poisoned") {
+                Out::Memory(lines) => lines.clone(),
+                Out::Writer(_) => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+}
+
+struct SpanGuardInner {
+    sink: Arc<SinkInner>,
+    name: &'static str,
+    depth: u64,
+    opened: Instant,
+}
+
+/// RAII guard for an open span; emits `span_close` on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard(Option<SpanGuardInner>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(g) = self.0.take() {
+            g.sink.depth.fetch_sub(1, Ordering::Relaxed);
+            let ev = Event::SpanClose {
+                t_us: TelemetrySink::now_us(&g.sink),
+                name: g.name.to_string(),
+                depth: g.depth,
+                dur_us: g.opened.elapsed().as_micros() as u64,
+            };
+            TelemetrySink::write_line(&g.sink, &ev.to_json_line());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.enabled());
+        let _g = sink.span("epoch");
+        sink.counter("c", 1);
+        sink.gauge("g", 1.0);
+        sink.hist("h", 1.0);
+        sink.flush();
+        assert!(sink.lines().is_empty());
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            Event::SpanOpen {
+                t_us: 3,
+                name: "epoch".into(),
+                depth: 0,
+            },
+            Event::SpanClose {
+                t_us: 90,
+                name: "epoch".into(),
+                depth: 0,
+                dur_us: 87,
+            },
+            Event::Counter {
+                t_us: 91,
+                name: "cache.hits".into(),
+                value: 17,
+            },
+            Event::Gauge {
+                t_us: 92,
+                name: "reward.mean".into(),
+                value: 0.53125,
+            },
+            Event::Hist {
+                t_us: 93,
+                name: "rollout.sample_us".into(),
+                value: 412.25,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_json_line();
+            let back = Event::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let ev = Event::Gauge {
+            t_us: 0,
+            name: "weird \"name\"\n\\with\tescapes".into(),
+            value: 1.0,
+        };
+        assert_eq!(Event::parse(&ev.to_json_line()).unwrap(), ev);
+    }
+
+    #[test]
+    fn non_finite_gauge_serialises_as_null() {
+        let ev = Event::Gauge {
+            t_us: 0,
+            name: "g".into(),
+            value: f64::NAN,
+        };
+        let line = ev.to_json_line();
+        assert!(line.contains("null"), "{line}");
+        match Event::parse(&line).unwrap() {
+            Event::Gauge { value, .. } => assert!(value.is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"t_us\":1}",                                // missing ev/name
+            "{\"t_us\":1,\"ev\":\"nope\",\"name\":\"x\"}", // unknown kind
+            "{\"t_us\":\"x\",\"ev\":\"gauge\",\"name\":\"g\",\"value\":1}", // bad t_us
+            "{\"t_us\":1,\"ev\":\"gauge\",\"name\":\"g\",\"value\":1}}", // trailing
+        ] {
+            assert!(Event::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_nested_spans_in_order() {
+        let sink = TelemetrySink::memory();
+        {
+            let _outer = sink.span("epoch");
+            {
+                let _inner = sink.span("step.rollout");
+                sink.hist("rollout.sample_us", 10.0);
+            }
+            sink.gauge("reward.mean", 0.4);
+        }
+        let lines = sink.lines();
+        let events: Vec<Event> = lines
+            .iter()
+            .map(|l| Event::parse(l).expect("valid line"))
+            .collect();
+        assert_eq!(events.len(), 6);
+        // Balanced, properly nested spans.
+        let mut stack = Vec::new();
+        for ev in &events {
+            match ev {
+                Event::SpanOpen { name, depth, .. } => {
+                    assert_eq!(*depth as usize, stack.len());
+                    stack.push(name.clone());
+                }
+                Event::SpanClose { name, depth, .. } => {
+                    assert_eq!(stack.pop().as_deref(), Some(name.as_str()));
+                    assert_eq!(*depth as usize, stack.len());
+                }
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty());
+        // Timestamps are monotone for a single-threaded emitter.
+        let ts: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanOpen { t_us, .. }
+                | Event::SpanClose { t_us, .. }
+                | Event::Counter { t_us, .. }
+                | Event::Gauge { t_us, .. }
+                | Event::Hist { t_us, .. } => *t_us,
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn writer_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("spg-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let sink = TelemetrySink::jsonl_file(&path).unwrap();
+        sink.counter("c", 2);
+        sink.flush();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(matches!(
+            Event::parse(lines[0]).unwrap(),
+            Event::Counter { value: 2, .. }
+        ));
+    }
+}

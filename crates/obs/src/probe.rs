@@ -1,0 +1,144 @@
+//! Process-wide probes for pure hot paths.
+//!
+//! The simulators and the k-way partitioner sit *below* the trainer in the
+//! crate graph and are called through pure functions whose signatures must
+//! not grow a sink parameter. Instead they bump a process-wide [`Probe`]
+//! (one relaxed atomic add per call; wall-clock accumulation only once any
+//! enabled [`crate::TelemetrySink`] exists). The trainer snapshots the
+//! probes once per epoch and emits the deltas into its own sink, so a
+//! metrics file still attributes simulator/partitioner work per epoch.
+//!
+//! Probes are *observability only*: they never feed back into results, so
+//! concurrent users (parallel tests, multiple trainers) merely share the
+//! totals — per-epoch deltas from a lone trainer are exact, deltas under
+//! concurrency are upper bounds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Wall-clock accumulation switch: off until the first enabled sink is
+/// created, then on for the rest of the process (sticky, so the check is
+/// one relaxed load on the hot path).
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Turn on wall-clock accumulation for all probes (sticky).
+pub fn enable_timing() {
+    TIMING.store(true, Ordering::Relaxed);
+}
+
+/// Whether probes accumulate wall-clock time.
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// A named call-count + wall-clock accumulator.
+#[derive(Debug)]
+pub struct Probe {
+    name: &'static str,
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// A point-in-time reading of a probe; subtract two to get a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSnapshot {
+    /// Calls observed so far.
+    pub calls: u64,
+    /// Accumulated wall-clock microseconds (0 while timing is off).
+    pub us: u64,
+}
+
+impl ProbeSnapshot {
+    /// Component-wise saturating difference (`self` is the later reading).
+    pub fn delta(self, earlier: ProbeSnapshot) -> ProbeSnapshot {
+        ProbeSnapshot {
+            calls: self.calls.saturating_sub(earlier.calls),
+            us: self.us.saturating_sub(earlier.us),
+        }
+    }
+}
+
+impl Probe {
+    /// A new probe (use through the statics below).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            calls: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The probe's name (used as the telemetry counter prefix).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Count a call to the probed section, timing it when any telemetry
+    /// sink is live. Results of `f` are returned untouched.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        if timing_enabled() {
+            let t0 = Instant::now();
+            let r = f();
+            self.nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            r
+        } else {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            f()
+        }
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> ProbeSnapshot {
+        ProbeSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            us: self.nanos.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+}
+
+/// Analytic bottleneck simulator calls (`spg_sim::analytic`).
+pub static SIM_ANALYTIC: Probe = Probe::new("sim.analytic");
+/// Discrete-time simulator calls (`spg_sim::des`).
+pub static SIM_DES: Probe = Probe::new("sim.des");
+/// Multilevel k-way partitioner calls (`spg_partition::kway_partition`).
+pub static PARTITION_KWAY: Probe = Probe::new("partition.kway");
+
+/// All probes the trainer reports per epoch.
+pub fn all() -> [&'static Probe; 3] {
+    [&SIM_ANALYTIC, &SIM_DES, &PARTITION_KWAY]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_counts_calls_and_snapshots_delta() {
+        static P: Probe = Probe::new("test.probe");
+        let before = P.snapshot();
+        let x = P.time(|| 21 * 2);
+        assert_eq!(x, 42);
+        let after = P.snapshot();
+        assert_eq!(after.delta(before).calls, 1);
+    }
+
+    #[test]
+    fn timing_accumulates_once_enabled() {
+        static P: Probe = Probe::new("test.timed");
+        enable_timing();
+        let before = P.snapshot();
+        P.time(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        let d = P.snapshot().delta(before);
+        assert_eq!(d.calls, 1);
+        assert!(d.us >= 1_000, "expected >= 1ms accumulated, got {}us", d.us);
+    }
+
+    #[test]
+    fn statics_are_wired() {
+        let names: Vec<&str> = all().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["sim.analytic", "sim.des", "partition.kway"]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Summarise a JSONL metrics file: per-phase time breakdown, counters,
+//! derived rates (cache hit rate, rollout occupancy), and metric curves.
+//!
+//! This is the engine behind `spg report <metrics.jsonl>`.
+
+use crate::Event;
+use std::fmt::Write as _;
+
+/// Aggregate of one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Completed spans of this name.
+    pub count: u64,
+    /// Sum of durations in microseconds.
+    pub total_us: u64,
+    /// Nesting depth of the first occurrence (for indentation).
+    pub depth: u64,
+}
+
+/// Aggregate of one histogram name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistAgg {
+    /// Observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Parsed + aggregated view of a metrics file. Name order follows first
+/// appearance in the file, so reports are stable.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Completed spans by name.
+    pub spans: Vec<(String, SpanAgg)>,
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge series by name, in file order.
+    pub gauges: Vec<(String, Vec<f64>)>,
+    /// Histogram aggregates by name.
+    pub hists: Vec<(String, HistAgg)>,
+    /// Events read.
+    pub events: usize,
+}
+
+fn entry<'a, T: Default>(vec: &'a mut Vec<(String, T)>, name: &str) -> &'a mut T {
+    if let Some(i) = vec.iter().position(|(n, _)| n == name) {
+        &mut vec[i].1
+    } else {
+        vec.push((name.to_string(), T::default()));
+        &mut vec.last_mut().expect("just pushed").1
+    }
+}
+
+impl Summary {
+    /// Aggregate an iterator of JSONL lines. Blank lines are skipped; a
+    /// malformed line fails with its 1-based line number.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> Result<Summary, String> {
+        let mut s = Summary::default();
+        for (i, line) in lines.into_iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            s.add(&ev);
+        }
+        Ok(s)
+    }
+
+    /// Fold one event into the aggregates.
+    pub fn add(&mut self, ev: &Event) {
+        self.events += 1;
+        match ev {
+            Event::SpanOpen { .. } => {}
+            Event::SpanClose {
+                name,
+                depth,
+                dur_us,
+                ..
+            } => {
+                let agg = entry::<SpanAgg>(&mut self.spans, name);
+                if agg.count == 0 {
+                    agg.depth = *depth;
+                }
+                agg.count += 1;
+                agg.total_us += dur_us;
+            }
+            Event::Counter { name, value, .. } => {
+                *entry::<u64>(&mut self.counters, name) += value;
+            }
+            Event::Gauge { name, value, .. } => {
+                entry::<Vec<f64>>(&mut self.gauges, name).push(*value);
+            }
+            Event::Hist { name, value, .. } => {
+                let agg = entry::<HistAgg>(&mut self.hists, name);
+                if agg.count == 0 {
+                    agg.min = *value;
+                    agg.max = *value;
+                } else {
+                    agg.min = agg.min.min(*value);
+                    agg.max = agg.max.max(*value);
+                }
+                agg.count += 1;
+                agg.sum += value;
+            }
+        }
+    }
+
+    /// Counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge series by name.
+    pub fn gauge_series(&self, name: &str) -> Option<&[f64]> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Span aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanAgg> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, a)| a)
+    }
+
+    /// `hits / (hits + misses)` of the reward memo-cache, if recorded.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter("cache.hits")?;
+        let misses = self.counter("cache.misses")?;
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} events", self.events);
+
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\nphase breakdown (wall clock):");
+            let name_w = self
+                .spans
+                .iter()
+                .map(|(n, a)| n.len() + 2 * a.depth as usize)
+                .max()
+                .unwrap_or(8)
+                .max(8);
+            // Share is relative to the total time in top-level spans.
+            let top_total: u64 = self
+                .spans
+                .iter()
+                .filter(|(_, a)| a.depth == 0)
+                .map(|(_, a)| a.total_us)
+                .sum();
+            for (name, a) in &self.spans {
+                let indent = "  ".repeat(a.depth as usize);
+                let label = format!("{indent}{name}");
+                let share = if top_total > 0 {
+                    format!("{:5.1}%", 100.0 * a.total_us as f64 / top_total as f64)
+                } else {
+                    "     -".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {label:<name_w$}  x{:<5}  total {:>10.3} ms  mean {:>9.3} ms  {share}",
+                    a.count,
+                    a.total_us as f64 / 1e3,
+                    a.total_us as f64 / 1e3 / a.count.max(1) as f64,
+                );
+            }
+        }
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            let name_w = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(8);
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<name_w$}  {v}");
+            }
+            if let Some(rate) = self.cache_hit_rate() {
+                let _ = writeln!(out, "  reward cache hit rate: {:.1}%", 100.0 * rate);
+            }
+        }
+
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            let name_w = self.hists.iter().map(|(n, _)| n.len()).max().unwrap_or(8);
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<name_w$}  n={:<6} mean {:>10.3}  min {:>10.3}  max {:>10.3}",
+                    h.count,
+                    h.sum / h.count.max(1) as f64,
+                    h.min,
+                    h.max
+                );
+            }
+        }
+
+        // Rollout occupancy: busy sample time vs. workers * rollout wall.
+        if let (Some(h), Some(span), Some(workers)) = (
+            self.hists
+                .iter()
+                .find(|(n, _)| n == "rollout.sample_us")
+                .map(|(_, h)| h),
+            self.span("step.rollout"),
+            self.gauge_series("rollout.workers")
+                .and_then(|s| s.last().copied()),
+        ) {
+            if span.total_us > 0 && workers >= 1.0 {
+                let occ = h.sum / (workers * span.total_us as f64);
+                let _ = writeln!(
+                    out,
+                    "\nrollout occupancy: {:.1}% of {} worker(s) during step.rollout",
+                    100.0 * occ.min(1.0),
+                    workers
+                );
+            }
+        }
+
+        for (name, series) in &self.gauges {
+            if name != "reward.mean" && name != "reward.best" {
+                continue;
+            }
+            let _ = writeln!(out, "\n{name} curve ({} epochs):", series.len());
+            let shown: Vec<String> = if series.len() <= 16 {
+                series.iter().map(|v| format!("{v:.3}")).collect()
+            } else {
+                let mut s: Vec<String> = series[..8].iter().map(|v| format!("{v:.3}")).collect();
+                s.push("...".to_string());
+                s.extend(series[series.len() - 8..].iter().map(|v| format!("{v:.3}")));
+                s
+            };
+            let _ = writeln!(out, "  {}", shown.join(" "));
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in series {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if let (Some(first), Some(last)) = (series.first(), series.last()) {
+                let _ = writeln!(
+                    out,
+                    "  first {first:.4}  last {last:.4}  min {lo:.4}  max {hi:.4}"
+                );
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    fn sample_lines() -> Vec<String> {
+        let sink = TelemetrySink::memory();
+        {
+            let _e = sink.span("epoch");
+            {
+                let _r = sink.span("step.rollout");
+                sink.hist("rollout.sample_us", 100.0);
+                sink.hist("rollout.sample_us", 300.0);
+            }
+            sink.counter("cache.hits", 3);
+            sink.counter("cache.misses", 1);
+            sink.gauge("reward.mean", 0.25);
+            sink.gauge("rollout.workers", 2.0);
+        }
+        {
+            let _e = sink.span("epoch");
+            sink.counter("cache.hits", 5);
+            sink.counter("cache.misses", 1);
+            sink.gauge("reward.mean", 0.5);
+        }
+        sink.lines()
+    }
+
+    #[test]
+    fn summary_aggregates_spans_counters_gauges() {
+        let lines = sample_lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        assert_eq!(s.span("epoch").unwrap().count, 2);
+        assert_eq!(s.span("step.rollout").unwrap().count, 1);
+        assert_eq!(s.span("step.rollout").unwrap().depth, 1);
+        assert_eq!(s.counter("cache.hits"), Some(8));
+        assert_eq!(s.counter("cache.misses"), Some(2));
+        assert_eq!(s.gauge_series("reward.mean"), Some(&[0.25, 0.5][..]));
+        let h = &s
+            .hists
+            .iter()
+            .find(|(n, _)| n == "rollout.sample_us")
+            .unwrap()
+            .1;
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 400.0, 100.0, 300.0));
+        assert!((s.cache_hit_rate().unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_breakdown_hit_rate_and_curve() {
+        let lines = sample_lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        let text = s.render();
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("epoch"), "{text}");
+        assert!(text.contains("step.rollout"), "{text}");
+        assert!(text.contains("reward cache hit rate: 80.0%"), "{text}");
+        assert!(text.contains("reward.mean curve (2 epochs)"), "{text}");
+        assert!(text.contains("rollout occupancy"), "{text}");
+    }
+
+    #[test]
+    fn from_lines_reports_bad_line_number() {
+        let err = Summary::from_lines(["{\"t_us\":1}", "nope"]).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let good = "{\"t_us\":1,\"ev\":\"counter\",\"name\":\"c\",\"value\":1}";
+        let err = Summary::from_lines([good, "nope"]).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let good = "{\"t_us\":1,\"ev\":\"counter\",\"name\":\"c\",\"value\":4}";
+        let s = Summary::from_lines([good, "", "  "]).unwrap();
+        assert_eq!(s.events, 1);
+        assert_eq!(s.counter("c"), Some(4));
+    }
+}

@@ -59,7 +59,20 @@ pub struct DesResult {
 }
 
 /// Run the discrete-time simulation.
+///
+/// Calls (and, when telemetry is live, wall-clock time) are counted on
+/// [`spg_obs::probe::SIM_DES`]; results are untouched.
 pub fn simulate_des(
+    graph: &StreamGraph,
+    cluster: &ClusterSpec,
+    placement: &Placement,
+    source_rate: f64,
+    cfg: &DesConfig,
+) -> DesResult {
+    spg_obs::probe::SIM_DES.time(|| simulate_des_impl(graph, cluster, placement, source_rate, cfg))
+}
+
+fn simulate_des_impl(
     graph: &StreamGraph,
     cluster: &ClusterSpec,
     placement: &Placement,

@@ -38,10 +38,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
     let placer = MetisCoarsePlacer::new(2);
-    let options = TrainOptions {
-        metis_guided: true,
-        ..Default::default()
-    };
+    let options = TrainOptions::new().metis_guided(true);
 
     println!("training through {} curriculum levels...", levels.len());
     let (model, history) = train_curriculum(model, &placer, &levels, &options);

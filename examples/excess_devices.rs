@@ -14,7 +14,7 @@ use spg::eval::{evaluate_allocator, render_table};
 use spg::gen::{DatasetSpec, Setting};
 use spg::graph::Allocator;
 use spg::model::pipeline::MetisCoarsePlacer;
-use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer};
 use spg::partition::{MetisAllocator, MetisOracle};
 
 fn main() {
@@ -33,14 +33,11 @@ fn main() {
     // learn to use fewer devices.
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(6),
-        train.graphs,
-        train.cluster,
-        train.source_rate,
-        TrainOptions::default(),
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(6))
+        .graphs(train.graphs)
+        .cluster(train.cluster)
+        .source_rate(train.source_rate)
+        .build();
     for _ in 0..6 {
         trainer.train_epoch();
     }

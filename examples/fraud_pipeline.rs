@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use spg::baselines::{RandomPlacement, RoundRobin};
 use spg::graph::{Allocator, Channel, ClusterSpec, NodeId, Operator, StreamGraphBuilder};
 use spg::model::pipeline::MetisCoarsePlacer;
-use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer};
 use spg::partition::MetisAllocator;
 use spg::StreamGraph;
 
@@ -98,14 +98,11 @@ fn main() {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(1),
-        train,
-        spec.cluster(),
-        spec.source_rate,
-        TrainOptions::default(),
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(1))
+        .graphs(train)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .build();
     for _ in 0..5 {
         trainer.train_epoch();
     }

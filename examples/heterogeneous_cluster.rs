@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 use spg::gen::{DatasetSpec, Setting};
 use spg::graph::{HeteroClusterSpec, Placement};
 use spg::model::pipeline::MetisCoarsePlacer;
-use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer};
 use spg::partition::MetisHeteroAllocator;
 use spg::sim::hetero::simulate_hetero;
 
@@ -32,14 +32,11 @@ fn main() {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(1),
-        train,
-        spec.cluster(),
-        spec.source_rate,
-        TrainOptions::default(),
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(1))
+        .graphs(train)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .build();
     for _ in 0..4 {
         trainer.train_epoch();
     }

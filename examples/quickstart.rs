@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::graph::{Allocator, Channel, ClusterSpec, Operator, StreamGraphBuilder};
 use spg::model::pipeline::MetisCoarsePlacer;
-use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer};
 
 fn main() {
     // ---- 1. Describe a stream application as a DAG ---------------------
@@ -42,14 +42,11 @@ fn main() {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(1),
-        train_graphs,
-        spec.cluster(),
-        spec.source_rate,
-        TrainOptions::default(),
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(1))
+        .graphs(train_graphs)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .build();
     for epoch in 0..4 {
         let stats = trainer.train_epoch();
         println!(

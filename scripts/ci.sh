@@ -8,3 +8,15 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# End-to-end smoke: generate -> train (with telemetry) -> report on a tiny
+# dataset, exercising the CLI surface and the JSONL metrics pipeline.
+SPG=target/release/spg
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$SPG" generate --setting small --scaled --count 3 --seed 1 --out "$SMOKE_DIR/ds.json"
+"$SPG" train --dataset "$SMOKE_DIR/ds.json" --epochs 1 --seed 1 \
+    --metrics "$SMOKE_DIR/metrics.jsonl" --out "$SMOKE_DIR/model.json"
+"$SPG" report "$SMOKE_DIR/metrics.jsonl"
+"$SPG" evaluate --dataset "$SMOKE_DIR/ds.json" --model "$SMOKE_DIR/model.json"
+echo "e2e smoke OK"

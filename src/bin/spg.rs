@@ -1,232 +1,226 @@
 //! `spg` — command-line interface for the coarsening-partitioning
 //! allocator: generate datasets, train models, allocate graphs, evaluate
-//! methods.
+//! methods, and inspect training telemetry.
 //!
 //! ```text
 //! spg generate --setting medium --count 20 --seed 1 --out ds.json
-//! spg train    --dataset ds.json --epochs 10 --out model.json
+//! spg train    --dataset ds.json --epochs 10 --metrics run.jsonl --out model.json
 //! spg evaluate --dataset ds.json --model model.json
 //! spg allocate --dataset ds.json --model model.json --index 0
+//! spg report   run.jsonl
 //! ```
+//!
+//! Argument parsing lives in [`spg::cli`]; this file only maps parsed
+//! commands onto the library.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use spg::cli::{
+    AllocateArgs, CliError, Command, EvaluateArgs, GenerateArgs, ReportArgs, TrainArgs,
+};
 use spg::eval::evaluate_allocator;
-use spg::gen::{DatasetSpec, Setting};
+use spg::gen::DatasetSpec;
 use spg::graph::serialize::Dataset;
 use spg::graph::Allocator;
 use spg::model::checkpoint::Checkpoint;
 use spg::model::pipeline::MetisCoarsePlacer;
 use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::obs::{Summary, TelemetrySink};
 use spg::partition::MetisAllocator;
-use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  spg generate --setting <small|medium-5dev|medium|large|xlarge|excess> \\\n               [--count N] [--seed S] [--scaled] --out FILE\n  spg train    --dataset FILE [--epochs N] [--seed S] [--no-guide] --out FILE\n  spg evaluate --dataset FILE [--model FILE]\n  spg allocate --dataset FILE --model FILE [--index I]"
-    );
-    ExitCode::from(2)
-}
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if let Some(name) = a.strip_prefix("--") {
-            let boolean = matches!(name, "scaled" | "no-guide");
-            if boolean {
-                flags.insert(name.to_string(), "true".to_string());
-                i += 1;
-            } else if i + 1 < args.len() {
-                flags.insert(name.to_string(), args[i + 1].clone());
-                i += 2;
-            } else {
-                eprintln!("flag --{name} needs a value");
-                i += 1;
-            }
-        } else {
-            i += 1;
-        }
-    }
-    flags
-}
-
-fn setting_from(name: &str) -> Option<Setting> {
-    Setting::all().into_iter().find(|s| s.slug() == name)
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        return usage();
+    let cmd = match Command::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(CliError::Help(text)) => {
+            println!("{text}");
+            return ExitCode::SUCCESS;
+        }
+        Err(CliError::Usage(text)) => {
+            eprintln!("{text}");
+            return ExitCode::from(2);
+        }
     };
-    let flags = parse_flags(&args[1..]);
+    match cmd {
+        Command::Generate(args) => generate(args),
+        Command::Train(args) => train(args),
+        Command::Evaluate(args) => evaluate(args),
+        Command::Allocate(args) => allocate(args),
+        Command::Report(args) => report(args),
+    }
+}
 
-    match cmd.as_str() {
-        "generate" => {
-            let Some(setting) = flags.get("setting").and_then(|s| setting_from(s)) else {
-                eprintln!(
-                    "--setting required (one of: {})",
-                    Setting::all().map(|s| s.slug()).join(", ")
-                );
-                return usage();
-            };
-            let count: usize = flags
-                .get("count")
-                .and_then(|c| c.parse().ok())
-                .unwrap_or(20);
-            let seed: u64 = flags.get("seed").and_then(|c| c.parse().ok()).unwrap_or(0);
-            let spec = if flags.contains_key("scaled") {
-                DatasetSpec::scaled_down(setting)
-            } else {
-                DatasetSpec::for_setting(setting)
-            };
-            let Some(out) = flags.get("out") else {
-                return usage();
-            };
-            let ds = spg::gen::generate_dataset(&spec, count, seed);
-            if let Err(e) = ds.save(Path::new(out)) {
-                eprintln!("failed to write {out}: {e}");
+fn load_dataset(path: &Path) -> Result<Dataset, ExitCode> {
+    Dataset::load(path).map_err(|e| {
+        eprintln!("failed to read {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+fn load_checkpoint(path: &Path) -> Result<Checkpoint, ExitCode> {
+    Checkpoint::load(path).map_err(|e| {
+        eprintln!("failed to read {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+fn generate(args: GenerateArgs) -> ExitCode {
+    let spec = if args.scaled {
+        DatasetSpec::scaled_down(args.setting)
+    } else {
+        DatasetSpec::for_setting(args.setting)
+    };
+    let ds = spg::gen::generate_dataset(&spec, args.count, args.seed);
+    if let Err(e) = ds.save(&args.out) {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} graphs ({}-{} nodes, {} devices, {}/s) to {}",
+        args.count,
+        spec.growth.node_range.0,
+        spec.growth.node_range.1,
+        spec.devices,
+        spec.source_rate,
+        args.out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn train(args: TrainArgs) -> ExitCode {
+    let ds = match load_dataset(&args.dataset) {
+        Ok(ds) => ds,
+        Err(code) => return code,
+    };
+    let sink = match &args.metrics {
+        Some(path) => match TelemetrySink::jsonl_file(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("failed to open {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
-            println!(
-                "wrote {count} graphs ({}-{} nodes, {} devices, {}/s) to {out}",
-                spec.growth.node_range.0, spec.growth.node_range.1, spec.devices, spec.source_rate
-            );
+        },
+        None => TelemetrySink::disabled(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut options = TrainOptions::new().metis_guided(args.guide).seed(args.seed);
+    if let Some(workers) = args.workers {
+        options = options.num_workers(workers);
+    }
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(args.seed ^ 1))
+        .graphs(ds.graphs)
+        .cluster(ds.cluster)
+        .source_rate(ds.source_rate)
+        .options(options)
+        .telemetry(sink)
+        .build();
+    for e in 0..args.epochs {
+        let stats = trainer.train_epoch();
+        println!(
+            "epoch {e:>3}: mean reward {:.3}  best-in-buffer {:.3}",
+            stats.mean_reward, stats.mean_best
+        );
+    }
+    trainer.telemetry().flush();
+    let model = trainer.into_model();
+    if let Err(e) = Checkpoint::from_model(&model).save(&args.out) {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "saved model ({} parameters) to {}",
+        model.num_parameters(),
+        args.out.display()
+    );
+    if let Some(path) = &args.metrics {
+        println!("telemetry written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn evaluate(args: EvaluateArgs) -> ExitCode {
+    let ds = match load_dataset(&args.dataset) {
+        Ok(ds) => ds,
+        Err(code) => return code,
+    };
+    let mut results = Vec::new();
+    results.push(evaluate_allocator(
+        &MetisAllocator::new(1) as &dyn Allocator,
+        &ds,
+    ));
+    if let Some(model_path) = &args.model {
+        let ck = match load_checkpoint(model_path) {
+            Ok(ck) => ck,
+            Err(code) => return code,
+        };
+        let alloc = CoarsenAllocator::new(ck.into_model(), MetisCoarsePlacer::new(2));
+        results.push(evaluate_allocator(&alloc as &dyn Allocator, &ds));
+    }
+    println!(
+        "{}",
+        spg::eval::render_table(
+            &format!("evaluation on {}", args.dataset.display()),
+            &results
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+fn allocate(args: AllocateArgs) -> ExitCode {
+    let ds = match load_dataset(&args.dataset) {
+        Ok(ds) => ds,
+        Err(code) => return code,
+    };
+    let Some(graph) = ds.graphs.get(args.index) else {
+        eprintln!(
+            "dataset has {} graphs; index {} out of range",
+            ds.graphs.len(),
+            args.index
+        );
+        return ExitCode::FAILURE;
+    };
+    let ck = match load_checkpoint(&args.model) {
+        Ok(ck) => ck,
+        Err(code) => return code,
+    };
+    let alloc = CoarsenAllocator::new(ck.into_model(), MetisCoarsePlacer::new(3));
+    let placement = alloc.allocate(graph, &ds.cluster, ds.source_rate);
+    let sim = spg::sim::analytic::simulate(graph, &ds.cluster, &placement, ds.source_rate);
+    println!(
+        "graph {}: {} nodes, {} edges",
+        args.index,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "throughput {:.0}/s of {:.0}/s (relative {:.3}), bottleneck {:?}",
+        sim.throughput, ds.source_rate, sim.relative, sim.bottleneck
+    );
+    println!("devices used: {}", placement.devices_used());
+    println!("placement: {:?}", placement.as_slice());
+    ExitCode::SUCCESS
+}
+
+fn report(args: ReportArgs) -> ExitCode {
+    let text = match std::fs::read_to_string(&args.metrics) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", args.metrics.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match Summary::from_lines(text.lines()) {
+        Ok(summary) => {
+            println!("telemetry report for {}", args.metrics.display());
+            println!("{}", summary.render());
             ExitCode::SUCCESS
         }
-        "train" => {
-            let Some(ds_path) = flags.get("dataset") else {
-                return usage();
-            };
-            let Some(out) = flags.get("out") else {
-                return usage();
-            };
-            let epochs: usize = flags
-                .get("epochs")
-                .and_then(|c| c.parse().ok())
-                .unwrap_or(10);
-            let seed: u64 = flags.get("seed").and_then(|c| c.parse().ok()).unwrap_or(0);
-            let ds = match Dataset::load(Path::new(ds_path)) {
-                Ok(ds) => ds,
-                Err(e) => {
-                    eprintln!("failed to read {ds_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-            let mut trainer = ReinforceTrainer::new(
-                model,
-                MetisCoarsePlacer::new(seed ^ 1),
-                ds.graphs,
-                ds.cluster,
-                ds.source_rate,
-                TrainOptions {
-                    metis_guided: !flags.contains_key("no-guide"),
-                    seed,
-                    ..Default::default()
-                },
-            );
-            for e in 0..epochs {
-                let stats = trainer.train_epoch();
-                println!(
-                    "epoch {e:>3}: mean reward {:.3}  best-in-buffer {:.3}",
-                    stats.mean_reward, stats.mean_best
-                );
-            }
-            let model = trainer.into_model();
-            if let Err(e) = Checkpoint::from_model(&model).save(Path::new(out)) {
-                eprintln!("failed to write {out}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!(
-                "saved model ({} parameters) to {out}",
-                model.num_parameters()
-            );
-            ExitCode::SUCCESS
+        Err(e) => {
+            eprintln!("{}: {e}", args.metrics.display());
+            ExitCode::FAILURE
         }
-        "evaluate" => {
-            let Some(ds_path) = flags.get("dataset") else {
-                return usage();
-            };
-            let ds = match Dataset::load(Path::new(ds_path)) {
-                Ok(ds) => ds,
-                Err(e) => {
-                    eprintln!("failed to read {ds_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let mut results = Vec::new();
-            results.push(evaluate_allocator(
-                &MetisAllocator::new(1) as &dyn Allocator,
-                &ds,
-            ));
-            if let Some(model_path) = flags.get("model") {
-                match Checkpoint::load(Path::new(model_path)) {
-                    Ok(ck) => {
-                        let alloc =
-                            CoarsenAllocator::new(ck.into_model(), MetisCoarsePlacer::new(2));
-                        results.push(evaluate_allocator(&alloc as &dyn Allocator, &ds));
-                    }
-                    Err(e) => {
-                        eprintln!("failed to read {model_path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            println!(
-                "{}",
-                spg::eval::render_table(&format!("evaluation on {ds_path}"), &results)
-            );
-            ExitCode::SUCCESS
-        }
-        "allocate" => {
-            let (Some(ds_path), Some(model_path)) = (flags.get("dataset"), flags.get("model"))
-            else {
-                return usage();
-            };
-            let index: usize = flags.get("index").and_then(|c| c.parse().ok()).unwrap_or(0);
-            let ds = match Dataset::load(Path::new(ds_path)) {
-                Ok(ds) => ds,
-                Err(e) => {
-                    eprintln!("failed to read {ds_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let Some(graph) = ds.graphs.get(index) else {
-                eprintln!(
-                    "dataset has {} graphs; index {index} out of range",
-                    ds.graphs.len()
-                );
-                return ExitCode::FAILURE;
-            };
-            let ck = match Checkpoint::load(Path::new(model_path)) {
-                Ok(ck) => ck,
-                Err(e) => {
-                    eprintln!("failed to read {model_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let alloc = CoarsenAllocator::new(ck.into_model(), MetisCoarsePlacer::new(3));
-            let placement = alloc.allocate(graph, &ds.cluster, ds.source_rate);
-            let sim = spg::sim::analytic::simulate(graph, &ds.cluster, &placement, ds.source_rate);
-            println!(
-                "graph {index}: {} nodes, {} edges",
-                graph.num_nodes(),
-                graph.num_edges()
-            );
-            println!(
-                "throughput {:.0}/s of {:.0}/s (relative {:.3}), bottleneck {:?}",
-                sim.throughput, ds.source_rate, sim.relative, sim.bottleneck
-            );
-            println!("devices used: {}", placement.devices_used());
-            println!("placement: {:?}", placement.as_slice());
-            ExitCode::SUCCESS
-        }
-        _ => usage(),
     }
 }

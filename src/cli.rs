@@ -1,0 +1,542 @@
+//! Typed command-line parsing for the `spg` binary.
+//!
+//! Each subcommand parses into its own args struct, so the binary's `main`
+//! works with fields, not a stringly `HashMap`. Unknown flags and missing
+//! values are hard errors that name the offending flag, and every
+//! subcommand answers `--help` with its own usage text (the same text the
+//! README's CLI section is generated from).
+
+use spg_gen::Setting;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A parsed invocation of the `spg` binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `spg generate` — synthesize a dataset of stream graphs.
+    Generate(GenerateArgs),
+    /// `spg train` — train the RL coarsening model on a dataset.
+    Train(TrainArgs),
+    /// `spg evaluate` — compare allocators on a dataset.
+    Evaluate(EvaluateArgs),
+    /// `spg allocate` — place one graph with a trained model.
+    Allocate(AllocateArgs),
+    /// `spg report` — summarize a training telemetry JSONL file.
+    Report(ReportArgs),
+}
+
+/// Arguments of `spg generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Paper setting that fixes graph sizes, devices and source rate.
+    pub setting: Setting,
+    /// Number of graphs to generate.
+    pub count: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Use the scaled-down variant of the setting.
+    pub scaled: bool,
+    /// Output dataset path (JSON).
+    pub out: PathBuf,
+}
+
+/// Arguments of `spg train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Dataset produced by `spg generate`.
+    pub dataset: PathBuf,
+    /// Output model checkpoint path.
+    pub out: PathBuf,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Training seed.
+    pub seed: u64,
+    /// Metis-guided buffer seeding (cleared by `--no-guide`).
+    pub guide: bool,
+    /// Rollout worker threads (`None` = auto).
+    pub workers: Option<usize>,
+    /// Telemetry JSONL output path (`None` = telemetry disabled).
+    pub metrics: Option<PathBuf>,
+}
+
+/// Arguments of `spg evaluate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluateArgs {
+    /// Dataset to evaluate on.
+    pub dataset: PathBuf,
+    /// Trained model to evaluate alongside the Metis baseline.
+    pub model: Option<PathBuf>,
+}
+
+/// Arguments of `spg allocate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocateArgs {
+    /// Dataset holding the graph.
+    pub dataset: PathBuf,
+    /// Trained model checkpoint.
+    pub model: PathBuf,
+    /// Index of the graph within the dataset.
+    pub index: usize,
+}
+
+/// Arguments of `spg report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// Telemetry JSONL file written by `spg train --metrics`.
+    pub metrics: PathBuf,
+}
+
+/// Why parsing stopped without producing a [`Command`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// The user asked for help; print to stdout and exit 0.
+    Help(String),
+    /// The invocation is malformed; print to stderr and exit 2.
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Help(text) | CliError::Usage(text) => f.write_str(text),
+        }
+    }
+}
+
+/// Top-level usage text (`spg --help`).
+pub fn general_help() -> String {
+    "spg — coarsening-partitioning allocator for stream processing graphs\n\
+     \n\
+     usage: spg <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 generate   synthesize a dataset of stream graphs\n\
+     \x20 train      train the RL coarsening model on a dataset\n\
+     \x20 evaluate   compare allocators on a dataset\n\
+     \x20 allocate   place one graph with a trained model\n\
+     \x20 report     summarize a training telemetry JSONL file\n\
+     \n\
+     run `spg <command> --help` for command options"
+        .to_string()
+}
+
+fn settings_list() -> String {
+    Setting::all().map(|s| s.slug()).join("|")
+}
+
+/// Usage text of one subcommand (`spg <cmd> --help`).
+pub fn command_help(cmd: &str) -> String {
+    match cmd {
+        "generate" => format!(
+            "usage: spg generate --setting <S> --out FILE [options]\n\
+             \n\
+             required:\n\
+             \x20 --setting <{}>\n\
+             \x20 --out FILE     where to write the dataset (JSON)\n\
+             \n\
+             options:\n\
+             \x20 --count N      graphs to generate (default 20)\n\
+             \x20 --seed S       generator seed (default 0)\n\
+             \x20 --scaled       use the scaled-down variant of the setting",
+            settings_list()
+        ),
+        "train" => "usage: spg train --dataset FILE --out FILE [options]\n\
+             \n\
+             required:\n\
+             \x20 --dataset FILE  dataset produced by `spg generate`\n\
+             \x20 --out FILE      where to write the model checkpoint\n\
+             \n\
+             options:\n\
+             \x20 --epochs N      training epochs (default 10)\n\
+             \x20 --seed S        training seed (default 0)\n\
+             \x20 --no-guide      disable Metis-guided buffer seeding\n\
+             \x20 --workers N     rollout worker threads (default: auto)\n\
+             \x20 --metrics FILE  write telemetry events (JSONL) to FILE"
+            .to_string(),
+        "evaluate" => "usage: spg evaluate --dataset FILE [--model FILE]\n\
+             \n\
+             required:\n\
+             \x20 --dataset FILE  dataset to evaluate on\n\
+             \n\
+             options:\n\
+             \x20 --model FILE    also evaluate this trained model (otherwise Metis only)"
+            .to_string(),
+        "allocate" => "usage: spg allocate --dataset FILE --model FILE [--index I]\n\
+             \n\
+             required:\n\
+             \x20 --dataset FILE  dataset holding the graph\n\
+             \x20 --model FILE    trained model checkpoint\n\
+             \n\
+             options:\n\
+             \x20 --index I       graph index within the dataset (default 0)"
+            .to_string(),
+        "report" => "usage: spg report METRICS.jsonl\n\
+             \n\
+             Summarize a telemetry stream written by `spg train --metrics`:\n\
+             per-phase time breakdown, counters (reward-cache hit rate,\n\
+             simulator calls), histograms, and the reward curve."
+            .to_string(),
+        other => panic!("no help for unknown command `{other}`"),
+    }
+}
+
+/// Walks the raw argument list of one subcommand.
+struct Args<'a> {
+    cmd: &'static str,
+    rest: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Args<'a> {
+    fn new(cmd: &'static str, rest: &'a [String]) -> Self {
+        Self {
+            cmd,
+            rest: rest.iter(),
+        }
+    }
+
+    /// Value of a `--flag VALUE` pair, or a usage error naming the flag.
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        match self.rest.next() {
+            Some(v) => Ok(v),
+            None => Err(CliError::Usage(format!(
+                "flag --{flag} needs a value (see `spg {} --help`)",
+                self.cmd
+            ))),
+        }
+    }
+
+    fn unknown(&self, arg: &str) -> CliError {
+        CliError::Usage(format!(
+            "unknown argument `{arg}` for `spg {}` (see `spg {} --help`)",
+            self.cmd, self.cmd
+        ))
+    }
+
+    fn missing(&self, flag: &str) -> CliError {
+        CliError::Usage(format!(
+            "--{flag} is required (see `spg {} --help`)",
+            self.cmd
+        ))
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(cmd: &str, flag: &str, text: &str) -> Result<T, CliError>
+where
+    T::Err: fmt::Display,
+{
+    text.parse().map_err(|e| {
+        CliError::Usage(format!(
+            "invalid value `{text}` for --{flag}: {e} (see `spg {cmd} --help`)"
+        ))
+    })
+}
+
+impl Command {
+    /// Parse the argument list after the program name.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let Some(cmd) = args.first() else {
+            return Err(CliError::Usage(general_help()));
+        };
+        let rest = &args[1..];
+        match cmd.as_str() {
+            "help" | "--help" | "-h" => Err(CliError::Help(general_help())),
+            "generate" => Self::parse_generate(rest),
+            "train" => Self::parse_train(rest),
+            "evaluate" => Self::parse_evaluate(rest),
+            "allocate" => Self::parse_allocate(rest),
+            "report" => Self::parse_report(rest),
+            other => Err(CliError::Usage(format!(
+                "unknown command `{other}`\n\n{}",
+                general_help()
+            ))),
+        }
+    }
+
+    fn parse_generate(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("generate", rest);
+        let (mut setting, mut out) = (None, None);
+        let (mut count, mut seed, mut scaled) = (20usize, 0u64, false);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("generate"))),
+                "--setting" => {
+                    let name = a.value("setting")?;
+                    setting = Some(
+                        Setting::all()
+                            .into_iter()
+                            .find(|s| s.slug() == name)
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "invalid value `{name}` for --setting (one of: {})",
+                                    settings_list()
+                                ))
+                            })?,
+                    );
+                }
+                "--count" => count = parse_num("generate", "count", a.value("count")?)?,
+                "--seed" => seed = parse_num("generate", "seed", a.value("seed")?)?,
+                "--scaled" => scaled = true,
+                "--out" => out = Some(PathBuf::from(a.value("out")?)),
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Generate(GenerateArgs {
+            setting: setting.ok_or_else(|| a.missing("setting"))?,
+            count,
+            seed,
+            scaled,
+            out: out.ok_or_else(|| a.missing("out"))?,
+        }))
+    }
+
+    fn parse_train(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("train", rest);
+        let (mut dataset, mut out, mut workers, mut metrics) = (None, None, None, None);
+        let (mut epochs, mut seed, mut guide) = (10usize, 0u64, true);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("train"))),
+                "--dataset" => dataset = Some(PathBuf::from(a.value("dataset")?)),
+                "--out" => out = Some(PathBuf::from(a.value("out")?)),
+                "--epochs" => epochs = parse_num("train", "epochs", a.value("epochs")?)?,
+                "--seed" => seed = parse_num("train", "seed", a.value("seed")?)?,
+                "--no-guide" => guide = false,
+                "--workers" => workers = Some(parse_num("train", "workers", a.value("workers")?)?),
+                "--metrics" => metrics = Some(PathBuf::from(a.value("metrics")?)),
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Train(TrainArgs {
+            dataset: dataset.ok_or_else(|| a.missing("dataset"))?,
+            out: out.ok_or_else(|| a.missing("out"))?,
+            epochs,
+            seed,
+            guide,
+            workers,
+            metrics,
+        }))
+    }
+
+    fn parse_evaluate(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("evaluate", rest);
+        let (mut dataset, mut model) = (None, None);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("evaluate"))),
+                "--dataset" => dataset = Some(PathBuf::from(a.value("dataset")?)),
+                "--model" => model = Some(PathBuf::from(a.value("model")?)),
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Evaluate(EvaluateArgs {
+            dataset: dataset.ok_or_else(|| a.missing("dataset"))?,
+            model,
+        }))
+    }
+
+    fn parse_allocate(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("allocate", rest);
+        let (mut dataset, mut model) = (None, None);
+        let mut index = 0usize;
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("allocate"))),
+                "--dataset" => dataset = Some(PathBuf::from(a.value("dataset")?)),
+                "--model" => model = Some(PathBuf::from(a.value("model")?)),
+                "--index" => index = parse_num("allocate", "index", a.value("index")?)?,
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Allocate(AllocateArgs {
+            dataset: dataset.ok_or_else(|| a.missing("dataset"))?,
+            model: model.ok_or_else(|| a.missing("model"))?,
+            index,
+        }))
+    }
+
+    fn parse_report(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("report", rest);
+        let mut metrics = None;
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("report"))),
+                other if other.starts_with('-') => return Err(a.unknown(other)),
+                path => {
+                    if metrics.is_some() {
+                        return Err(CliError::Usage(
+                            "spg report takes exactly one METRICS.jsonl path (see `spg report --help`)"
+                                .to_string(),
+                        ));
+                    }
+                    metrics = Some(PathBuf::from(path));
+                }
+            }
+        }
+        Ok(Command::Report(ReportArgs {
+            metrics: metrics.ok_or_else(|| {
+                CliError::Usage(
+                    "spg report needs a METRICS.jsonl path (see `spg report --help`)".to_string(),
+                )
+            })?,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        Command::parse(&args)
+    }
+
+    #[test]
+    fn generate_full_invocation() {
+        let cmd =
+            parse("generate --setting medium --count 5 --seed 7 --scaled --out ds.json").unwrap();
+        let Command::Generate(g) = cmd else {
+            panic!("expected generate, got {cmd:?}")
+        };
+        assert_eq!(g.setting.slug(), "medium");
+        assert_eq!(g.count, 5);
+        assert_eq!(g.seed, 7);
+        assert!(g.scaled);
+        assert_eq!(g.out, PathBuf::from("ds.json"));
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let Command::Generate(g) = parse("generate --setting small --out x.json").unwrap() else {
+            panic!()
+        };
+        assert_eq!((g.count, g.seed, g.scaled), (20, 0, false));
+    }
+
+    #[test]
+    fn generate_rejects_bad_setting() {
+        let Err(CliError::Usage(msg)) = parse("generate --setting tiny --out x.json") else {
+            panic!("bad setting must be a usage error")
+        };
+        assert!(msg.contains("`tiny`") && msg.contains("small"), "{msg}");
+    }
+
+    #[test]
+    fn train_full_invocation() {
+        let cmd = parse(
+            "train --dataset ds.json --out m.json --epochs 3 --seed 2 --no-guide \
+             --workers 4 --metrics ev.jsonl",
+        )
+        .unwrap();
+        let Command::Train(t) = cmd else { panic!() };
+        assert_eq!(t.dataset, PathBuf::from("ds.json"));
+        assert_eq!(t.out, PathBuf::from("m.json"));
+        assert_eq!((t.epochs, t.seed, t.guide), (3, 2, false));
+        assert_eq!(t.workers, Some(4));
+        assert_eq!(t.metrics, Some(PathBuf::from("ev.jsonl")));
+    }
+
+    #[test]
+    fn train_defaults() {
+        let Command::Train(t) = parse("train --dataset d --out m").unwrap() else {
+            panic!()
+        };
+        assert_eq!((t.epochs, t.seed, t.guide), (10, 0, true));
+        assert_eq!((t.workers, t.metrics), (None, None));
+    }
+
+    #[test]
+    fn train_missing_required_flag_names_it() {
+        let Err(CliError::Usage(msg)) = parse("train --dataset d") else {
+            panic!()
+        };
+        assert!(msg.contains("--out is required"), "{msg}");
+    }
+
+    #[test]
+    fn train_missing_value_names_the_flag() {
+        let Err(CliError::Usage(msg)) = parse("train --dataset d --out m --epochs") else {
+            panic!()
+        };
+        assert!(msg.contains("--epochs needs a value"), "{msg}");
+    }
+
+    #[test]
+    fn train_bad_number_is_reported() {
+        let Err(CliError::Usage(msg)) = parse("train --dataset d --out m --epochs ten") else {
+            panic!()
+        };
+        assert!(msg.contains("`ten`") && msg.contains("--epochs"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_naming_it() {
+        let Err(CliError::Usage(msg)) = parse("train --dataset d --out m --bogus 1") else {
+            panic!()
+        };
+        assert!(
+            msg.contains("`--bogus`") && msg.contains("spg train"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn evaluate_with_and_without_model() {
+        let Command::Evaluate(e) = parse("evaluate --dataset d").unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.model, None);
+        let Command::Evaluate(e) = parse("evaluate --dataset d --model m").unwrap() else {
+            panic!()
+        };
+        assert_eq!(e.model, Some(PathBuf::from("m")));
+    }
+
+    #[test]
+    fn allocate_parses_index() {
+        let Command::Allocate(al) = parse("allocate --dataset d --model m --index 3").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(al.index, 3);
+        let Err(CliError::Usage(msg)) = parse("allocate --dataset d") else {
+            panic!()
+        };
+        assert!(msg.contains("--model is required"), "{msg}");
+    }
+
+    #[test]
+    fn report_takes_one_positional() {
+        let Command::Report(r) = parse("report ev.jsonl").unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.metrics, PathBuf::from("ev.jsonl"));
+        assert!(matches!(parse("report"), Err(CliError::Usage(_))));
+        assert!(matches!(parse("report a b"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse("report --frobnicate"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn help_everywhere() {
+        assert!(matches!(parse("--help"), Err(CliError::Help(_))));
+        assert!(matches!(parse("help"), Err(CliError::Help(_))));
+        for cmd in ["generate", "train", "evaluate", "allocate", "report"] {
+            let Err(CliError::Help(text)) = parse(&format!("{cmd} --help")) else {
+                panic!("{cmd} --help must be a help error")
+            };
+            assert!(text.contains(&format!("spg {cmd}")), "{cmd}: {text}");
+        }
+    }
+
+    #[test]
+    fn no_args_and_unknown_command_are_usage_errors() {
+        assert!(matches!(Command::parse(&[]), Err(CliError::Usage(_))));
+        let Err(CliError::Usage(msg)) = parse("frobnicate") else {
+            panic!()
+        };
+        assert!(msg.contains("`frobnicate`"), "{msg}");
+    }
+}

@@ -15,6 +15,12 @@
 //!   model and coarsening-partitioning framework.
 //! * [`baselines`] — Graph-enc-dec, GDP-lite, Hierarchical, heuristics.
 //! * [`eval`] — CDF/AUC metrics and the experiment harness.
+//! * [`obs`] — opt-in telemetry: spans, counters, JSONL event streams.
+//!
+//! The [`cli`] module holds the typed argument parser behind the `spg`
+//! binary.
+
+pub mod cli;
 
 pub use spg_baselines as baselines;
 pub use spg_core as model;
@@ -22,6 +28,7 @@ pub use spg_eval as eval;
 pub use spg_gen as gen;
 pub use spg_graph as graph;
 pub use spg_nn as nn;
+pub use spg_obs as obs;
 pub use spg_partition as partition;
 pub use spg_sim as sim;
 

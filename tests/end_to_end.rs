@@ -16,17 +16,12 @@ fn quick_trained_model(epochs: usize, seed: u64) -> CoarsenModel {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(seed),
-        graphs,
-        spec.cluster(),
-        spec.source_rate,
-        TrainOptions {
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(seed))
+        .graphs(graphs)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .options(TrainOptions::new().seed(seed))
+        .build();
     for _ in 0..epochs {
         trainer.train_epoch();
     }

@@ -98,18 +98,12 @@ fn guided_training_never_starts_from_zero() {
         .collect();
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut trainer = ReinforceTrainer::new(
-        model,
-        MetisCoarsePlacer::new(2),
-        graphs,
-        spec.cluster(),
-        spec.source_rate,
-        TrainOptions {
-            metis_guided: true,
-            seed: 2,
-            ..Default::default()
-        },
-    );
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(2))
+        .graphs(graphs)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .options(TrainOptions::new().metis_guided(true).seed(2))
+        .build();
     let stats = trainer.train_epoch();
     assert!(
         stats.mean_best > 0.05,
