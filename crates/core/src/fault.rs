@@ -1,0 +1,211 @@
+//! Fault taxonomy and recovery policy for the training runtime.
+//!
+//! The trainer checks for non-finite values at four boundaries — rollout
+//! rewards (and worker panics), forward-pass collapse probabilities, the
+//! loss/gradient after backward, and the parameter norm after the Adam
+//! step. What happens when a check trips is the [`FaultPolicy`]:
+//!
+//! * [`FaultPolicy::Abort`] (default): [`ReinforceTrainer::try_train_epoch`]
+//!   returns a [`FaultError`] naming the fault; nothing is swallowed.
+//! * [`FaultPolicy::SkipSample`]: a faulty sample is dropped from the batch
+//!   (counted and reported); a fault at a step-level boundary quarantines
+//!   the whole graph for the rest of the run.
+//! * [`FaultPolicy::RollbackToSnapshot`]: any fault restores the
+//!   epoch-start snapshot (parameters, optimiser moments, RNG, buffers),
+//!   quarantines the offending graph, and retries the epoch.
+//!
+//! [`ReinforceTrainer::try_train_epoch`]: crate::reinforce::ReinforceTrainer::try_train_epoch
+
+use std::fmt;
+use std::str::FromStr;
+
+/// What to do when a training-time fault is detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Drop the faulty sample (or quarantine the graph for step-level
+    /// faults) and keep training.
+    SkipSample,
+    /// Restore the epoch-start snapshot, quarantine the offending graph,
+    /// and retry the epoch.
+    RollbackToSnapshot,
+    /// Surface the fault as an error from `try_train_epoch` (and a panic
+    /// from `train_epoch`). The default.
+    #[default]
+    Abort,
+}
+
+impl fmt::Display for FaultPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultPolicy::SkipSample => "skip",
+            FaultPolicy::RollbackToSnapshot => "rollback",
+            FaultPolicy::Abort => "abort",
+        })
+    }
+}
+
+impl FromStr for FaultPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "skip" | "skip-sample" => Ok(FaultPolicy::SkipSample),
+            "rollback" | "rollback-to-snapshot" => Ok(FaultPolicy::RollbackToSnapshot),
+            "abort" => Ok(FaultPolicy::Abort),
+            other => Err(format!(
+                "unknown fault policy `{other}` (expected skip, rollback, or abort)"
+            )),
+        }
+    }
+}
+
+/// The kind of fault detected, named after the failed check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A rollout produced a NaN/infinite reward.
+    NonFiniteReward,
+    /// The forward pass produced non-finite collapse probabilities (so the
+    /// log-probabilities of the policy are non-finite too).
+    NonFiniteLogProb,
+    /// The loss or accumulated gradient norm is non-finite after backward.
+    NonFiniteGradient,
+    /// The parameter norm is non-finite after the Adam step.
+    NonFiniteParameters,
+    /// A rollout worker panicked while evaluating a sample.
+    WorkerPanic,
+}
+
+impl FaultKind {
+    /// Stable snake_case name (used in errors and telemetry).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::NonFiniteReward => "non_finite_reward",
+            FaultKind::NonFiniteLogProb => "non_finite_log_prob",
+            FaultKind::NonFiniteGradient => "non_finite_gradient",
+            FaultKind::NonFiniteParameters => "non_finite_parameters",
+            FaultKind::WorkerPanic => "worker_panic",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the trainer recovered from (or surfaced) a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The sample was dropped from the batch.
+    SkippedSample,
+    /// The graph was quarantined for the rest of the run.
+    QuarantinedGraph,
+    /// The epoch was rolled back to its start snapshot.
+    RolledBack,
+    /// The fault was surfaced as an error (policy Abort).
+    Aborted,
+}
+
+/// One recovery event, kept in the trainer's in-memory fault log.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// What was detected.
+    pub kind: FaultKind,
+    /// Epoch index (0-based) during which the fault fired.
+    pub epoch: u64,
+    /// Index of the graph being trained on.
+    pub graph: usize,
+    /// Sample index within the batch, when the fault was sample-scoped.
+    pub sample: Option<usize>,
+    /// Human-readable detail (offending value, panic message, ...).
+    pub detail: String,
+    /// How the policy responded.
+    pub action: RecoveryAction,
+}
+
+/// Running totals of fault handling, mirrored to telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Samples dropped under [`FaultPolicy::SkipSample`].
+    pub skipped_samples: u64,
+    /// Graphs quarantined (skip or rollback policies).
+    pub quarantined_graphs: u64,
+    /// Epoch rollbacks under [`FaultPolicy::RollbackToSnapshot`].
+    pub rollbacks: u64,
+    /// Resume-from-checkpoint events (this process; not persisted).
+    pub resumes: u64,
+}
+
+/// A training fault surfaced under [`FaultPolicy::Abort`].
+#[derive(Debug, Clone)]
+pub struct FaultError {
+    /// What was detected.
+    pub kind: FaultKind,
+    /// Epoch index (0-based) during which the fault fired.
+    pub epoch: u64,
+    /// Index of the graph being trained on.
+    pub graph: usize,
+    /// Sample index within the batch, when sample-scoped.
+    pub sample: Option<usize>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at epoch {}, graph {}",
+            self.kind, self.epoch, self.graph
+        )?;
+        if let Some(s) = self.sample {
+            write!(f, ", sample {s}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_round_trips() {
+        for (text, policy) in [
+            ("skip", FaultPolicy::SkipSample),
+            ("skip-sample", FaultPolicy::SkipSample),
+            ("rollback", FaultPolicy::RollbackToSnapshot),
+            ("rollback-to-snapshot", FaultPolicy::RollbackToSnapshot),
+            ("abort", FaultPolicy::Abort),
+        ] {
+            assert_eq!(text.parse::<FaultPolicy>().unwrap(), policy);
+        }
+        assert_eq!(FaultPolicy::SkipSample.to_string(), "skip");
+        assert_eq!(FaultPolicy::default(), FaultPolicy::Abort);
+        let err = "bogus".parse::<FaultPolicy>().unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn fault_error_names_kind_epoch_graph_and_sample() {
+        let e = FaultError {
+            kind: FaultKind::NonFiniteReward,
+            epoch: 3,
+            graph: 1,
+            sample: Some(2),
+            detail: "reward NaN".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("non_finite_reward"), "{text}");
+        assert!(text.contains("epoch 3"), "{text}");
+        assert!(text.contains("graph 1"), "{text}");
+        assert!(text.contains("sample 2"), "{text}");
+        assert!(text.contains("reward NaN"), "{text}");
+    }
+}

@@ -26,13 +26,18 @@ pub mod collapse;
 pub mod config;
 pub mod curriculum;
 pub mod encoder;
+pub mod fault;
 pub mod model;
 pub mod pipeline;
 pub mod policy;
 pub mod reinforce;
 pub mod rollout;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointManager, ResumeError, TrainerState, CHECKPOINT_VERSION,
+};
 pub use config::CoarsenConfig;
+pub use fault::{FaultError, FaultEvent, FaultKind, FaultPolicy, FaultStats, RecoveryAction};
 pub use model::CoarsenModel;
 pub use pipeline::{CoarsePlacer, CoarsenAllocator, CoarsenOracleAllocator, MetisCoarsePlacer};
 pub use policy::{CoarseningPolicy, DecodeMode};

@@ -15,6 +15,8 @@
 //! repeated decision vectors skip the simulator. Forward/backward passes
 //! stay on the calling thread — model parameters are `Rc`-shared.
 
+use crate::checkpoint::{Checkpoint, CheckpointManager, ResumeError, SampleState, TrainerState};
+use crate::fault::{FaultError, FaultEvent, FaultKind, FaultPolicy, FaultStats, RecoveryAction};
 use crate::model::CoarsenModel;
 use crate::pipeline::CoarsePlacer;
 use crate::policy::{priority_by_prob, CoarseningPolicy, DecodeMode};
@@ -22,7 +24,7 @@ use crate::rollout::{self, RewardCache, RolloutOutcome};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
-use spg_nn::{Adam, Tape};
+use spg_nn::{Adam, Matrix, Tape};
 use spg_obs::{probe, ProbeSnapshot, TelemetrySink};
 use std::time::Instant;
 
@@ -57,6 +59,14 @@ pub struct TrainOptions {
     /// the sequential path). Results are bitwise identical for every
     /// value — see [`crate::rollout`].
     pub num_workers: usize,
+    /// What to do when a non-finite value or worker panic is detected
+    /// during training (default: [`FaultPolicy::Abort`]).
+    pub fault_policy: FaultPolicy,
+    /// Write a periodic checkpoint snapshot every N epochs (0 disables;
+    /// consumed by [`crate::checkpoint::CheckpointManager`] / the CLI).
+    pub checkpoint_every: usize,
+    /// How many periodic snapshots to retain (keep-last-K).
+    pub checkpoint_keep: usize,
 }
 
 impl Default for TrainOptions {
@@ -70,6 +80,9 @@ impl Default for TrainOptions {
             drop_guided_when_beaten: true,
             seed: 0,
             num_workers: rollout::default_workers(),
+            fault_policy: FaultPolicy::default(),
+            checkpoint_every: 0,
+            checkpoint_keep: 3,
         }
     }
 }
@@ -125,6 +138,24 @@ impl TrainOptions {
     /// Set the rollout worker-thread count.
     pub fn num_workers(mut self, n: usize) -> Self {
         self.num_workers = n;
+        self
+    }
+
+    /// Set the fault-recovery policy.
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Set the periodic-checkpoint interval in epochs (0 disables).
+    pub fn checkpoint_every(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Set the number of periodic snapshots to retain.
+    pub fn checkpoint_keep(mut self, n: usize) -> Self {
+        self.checkpoint_keep = n;
         self
     }
 }
@@ -191,6 +222,10 @@ pub struct ReinforceTrainer<P: CoarsePlacer> {
     cache: RewardCache,
     sink: TelemetrySink,
     epochs_run: u64,
+    /// Per-graph quarantine flags set by the fault policy.
+    quarantined: Vec<bool>,
+    fault_stats: FaultStats,
+    fault_log: Vec<FaultEvent>,
     /// Cache counters at the end of the previous epoch (for deltas).
     prev_cache: (u64, u64),
     /// Probe snapshots at the end of the previous epoch, aligned with
@@ -327,6 +362,7 @@ impl<P: CoarsePlacer> ReinforceTrainerBuilder<P> {
 
         let cache = RewardCache::new(instances.len());
         let prev_probes = probe::all().map(|p| p.snapshot());
+        let quarantined = vec![false; instances.len()];
         ReinforceTrainer {
             model,
             placer,
@@ -340,6 +376,9 @@ impl<P: CoarsePlacer> ReinforceTrainerBuilder<P> {
             cache,
             sink,
             epochs_run: 0,
+            quarantined,
+            fault_stats: FaultStats::default(),
+            fault_log: Vec::new(),
             prev_cache: (0, 0),
             prev_probes,
         }
@@ -398,6 +437,192 @@ impl<P: CoarsePlacer> ReinforceTrainer<P> {
     pub fn into_model(self) -> CoarsenModel {
         self.model
     }
+
+    /// Epochs completed so far (resume restores this counter).
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Running fault-handling totals.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Every recovery event of this process, in order of occurrence.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.fault_log
+    }
+
+    /// Indices of graphs quarantined by the fault policy.
+    pub fn quarantined_graphs(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &q)| q.then_some(i))
+            .collect()
+    }
+
+    /// Snapshot the full training state — model, optimiser moments, RNG
+    /// position, best-sample buffers, quarantine set — as a resumable
+    /// [`Checkpoint`]. A run resumed from it via [`Self::resume_from`]
+    /// continues bitwise-identically to one that never stopped.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let (adam_m, adam_v) = self.model.params().snapshot_moments();
+        let (hi, lo) = TrainerState::split_word_pos(self.rng.get_word_pos());
+        Checkpoint {
+            config: self.model.config.clone(),
+            params: self.model.params().snapshot(),
+            trainer: Some(TrainerState {
+                epoch: self.epochs_run,
+                seed: self.options.seed,
+                rng_word_pos_hi: hi,
+                rng_word_pos_lo: lo,
+                adam_steps: self.adam.steps(),
+                adam_m,
+                adam_v,
+                buffers: self
+                    .instances
+                    .iter()
+                    .map(|inst| {
+                        inst.buffer
+                            .iter()
+                            .map(|s| SampleState {
+                                decisions: s.decisions.clone(),
+                                reward: s.reward,
+                                guided: s.guided,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+                quarantined: self
+                    .quarantined
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &q)| q.then_some(i as u64))
+                    .collect(),
+                skipped_samples: self.fault_stats.skipped_samples,
+                quarantined_graphs: self.fault_stats.quarantined_graphs,
+                rollbacks: self.fault_stats.rollbacks,
+            }),
+        }
+    }
+
+    /// Periodic-snapshot manager for this trainer's options
+    /// (`checkpoint_every` / `checkpoint_keep`), writing snapshots next
+    /// to `base`. Call [`CheckpointManager::maybe_save`] with
+    /// [`Self::checkpoint`] after each epoch.
+    pub fn checkpoint_manager(&self, base: impl Into<std::path::PathBuf>) -> CheckpointManager {
+        CheckpointManager::new(
+            base,
+            self.options.checkpoint_every,
+            self.options.checkpoint_keep,
+        )
+    }
+
+    /// Restore a [`Self::checkpoint`] into this trainer: parameters, Adam
+    /// moments and step count, the master RNG stream position, best-sample
+    /// buffers, quarantine flags, and the epoch counter. The trainer must
+    /// have been built over the same graphs, config, and seed — mismatches
+    /// are rejected, since resuming them would silently diverge.
+    pub fn resume_from(&mut self, ckpt: &Checkpoint) -> Result<(), ResumeError> {
+        let state = ckpt.trainer.as_ref().ok_or(ResumeError::NoTrainerState)?;
+        if ckpt.config != self.model.config {
+            return Err(ResumeError::ConfigMismatch);
+        }
+        let own = self.model.params().snapshot();
+        let shapes_match = |mats: &[Matrix]| {
+            mats.len() == own.len()
+                && mats
+                    .iter()
+                    .zip(&own)
+                    .all(|(a, b)| a.rows == b.rows && a.cols == b.cols)
+        };
+        if !shapes_match(&ckpt.params) {
+            return Err(ResumeError::ParamShapeMismatch { what: "params" });
+        }
+        if !shapes_match(&state.adam_m) {
+            return Err(ResumeError::ParamShapeMismatch {
+                what: "adam_m moments",
+            });
+        }
+        if !shapes_match(&state.adam_v) {
+            return Err(ResumeError::ParamShapeMismatch {
+                what: "adam_v moments",
+            });
+        }
+        if state.buffers.len() != self.instances.len() {
+            return Err(ResumeError::GraphCountMismatch {
+                expected: state.buffers.len(),
+                actual: self.instances.len(),
+            });
+        }
+        if state.seed != self.options.seed {
+            return Err(ResumeError::SeedMismatch {
+                expected: state.seed,
+                actual: self.options.seed,
+            });
+        }
+
+        self.model.params().restore(&ckpt.params);
+        self.model
+            .params()
+            .restore_moments(&state.adam_m, &state.adam_v);
+        self.adam.set_steps(state.adam_steps);
+        self.rng = ChaCha8Rng::seed_from_u64(state.seed);
+        self.rng.set_word_pos(state.rng_word_pos());
+        for (inst, buf) in self.instances.iter_mut().zip(&state.buffers) {
+            inst.buffer = buf
+                .iter()
+                .map(|s| BufferedSample {
+                    decisions: s.decisions.clone(),
+                    reward: s.reward,
+                    guided: s.guided,
+                })
+                .collect();
+        }
+        self.quarantined = vec![false; self.instances.len()];
+        for &gi in &state.quarantined {
+            if let Some(q) = self.quarantined.get_mut(gi as usize) {
+                *q = true;
+            }
+        }
+        self.epochs_run = state.epoch;
+        self.fault_stats.skipped_samples = state.skipped_samples;
+        self.fault_stats.quarantined_graphs = state.quarantined_graphs;
+        self.fault_stats.rollbacks = state.rollbacks;
+        self.fault_stats.resumes += 1;
+        self.sink.counter("train.resumes", 1);
+        Ok(())
+    }
+}
+
+/// A fault detected inside one policy-gradient step, before the policy
+/// decides how to recover.
+struct StepFault {
+    kind: FaultKind,
+    sample: Option<usize>,
+    detail: String,
+}
+
+/// Epoch-start state captured under [`FaultPolicy::RollbackToSnapshot`].
+struct EpochSnapshot {
+    params: Vec<Matrix>,
+    adam_m: Vec<Matrix>,
+    adam_v: Vec<Matrix>,
+    adam_t: u64,
+    rng: ChaCha8Rng,
+    buffers: Vec<Vec<BufferedSample>>,
+}
+
+/// Restores the previous thread-local injection context on drop, even
+/// when the guarded rollout unwinds (so a caught panic cannot leak a
+/// stale context key into later simulator calls on this thread).
+struct InjectContextGuard(u64);
+
+impl Drop for InjectContextGuard {
+    fn drop(&mut self) {
+        spg_sim::inject::set_context(self.0);
+    }
 }
 
 /// Per-epoch metric accumulators, only filled while a telemetry sink is
@@ -437,46 +662,190 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
     /// simulator/partitioner counters, and per-sample rollout timing
     /// histograms. Telemetry never changes results: `TrainStats` is
     /// bitwise identical with the sink on or off.
+    /// # Panics
+    /// On a detected fault under [`FaultPolicy::Abort`] — use
+    /// [`Self::try_train_epoch`] to handle the fault as an error instead.
     pub fn train_epoch(&mut self) -> TrainStats {
+        match self.try_train_epoch() {
+            Ok(stats) => stats,
+            Err(e) => panic!("training fault (policy abort): {e}"),
+        }
+    }
+
+    /// Run one epoch, surfacing detected faults according to
+    /// [`TrainOptions::fault_policy`]:
+    ///
+    /// * `Abort` returns the named [`FaultError`] (nothing is retried);
+    /// * `SkipSample` drops faulty samples, quarantines graphs whose
+    ///   forward/backward/Adam step faults, and always returns `Ok`;
+    /// * `RollbackToSnapshot` restores the epoch-start snapshot,
+    ///   quarantines the offending graph, and retries the epoch (bounded:
+    ///   every retry removes one graph).
+    pub fn try_train_epoch(&mut self) -> Result<TrainStats, FaultError> {
         let epoch_span = self.sink.span("epoch");
-        let mut scratch = self.sink.enabled().then(EpochScratch::default);
+        let policy = self.options.fault_policy;
+        loop {
+            let snapshot =
+                (policy == FaultPolicy::RollbackToSnapshot).then(|| self.epoch_snapshot());
+            let mut scratch = self.sink.enabled().then(EpochScratch::default);
+            match self.epoch_attempt(scratch.as_mut()) {
+                Ok((sum_reward, n_rewards, steps)) => {
+                    let mean_best = if self.instances.is_empty() {
+                        0.0
+                    } else {
+                        self.instances
+                            .iter()
+                            .map(|i| i.buffer.iter().map(|s| s.reward).fold(0.0, f64::max))
+                            .sum::<f64>()
+                            / self.instances.len() as f64
+                    };
+                    let stats = TrainStats {
+                        mean_reward: if n_rewards > 0 {
+                            sum_reward / n_rewards as f64
+                        } else {
+                            0.0
+                        },
+                        mean_best,
+                        steps,
+                    };
+                    self.epochs_run += 1;
+                    if let Some(sc) = scratch {
+                        self.emit_epoch_telemetry(&stats, &sc);
+                    }
+                    drop(epoch_span);
+                    return Ok(stats);
+                }
+                Err((gi, fault)) => match policy {
+                    FaultPolicy::Abort => {
+                        self.fault_log.push(FaultEvent {
+                            kind: fault.kind,
+                            epoch: self.epochs_run,
+                            graph: gi,
+                            sample: fault.sample,
+                            detail: fault.detail.clone(),
+                            action: RecoveryAction::Aborted,
+                        });
+                        return Err(FaultError {
+                            kind: fault.kind,
+                            epoch: self.epochs_run,
+                            graph: gi,
+                            sample: fault.sample,
+                            detail: fault.detail,
+                        });
+                    }
+                    FaultPolicy::RollbackToSnapshot => {
+                        self.restore_epoch_snapshot(
+                            snapshot.expect("snapshot taken under rollback policy"),
+                        );
+                        self.fault_stats.rollbacks += 1;
+                        self.sink.counter("fault.rollbacks", 1);
+                        self.fault_log.push(FaultEvent {
+                            kind: fault.kind,
+                            epoch: self.epochs_run,
+                            graph: gi,
+                            sample: fault.sample,
+                            detail: fault.detail.clone(),
+                            action: RecoveryAction::RolledBack,
+                        });
+                        // Quarantine after the restore so it sticks; the
+                        // retry then skips the offending graph, which
+                        // bounds the loop by the graph count.
+                        self.quarantine_graph(gi, &fault);
+                    }
+                    FaultPolicy::SkipSample => {
+                        unreachable!("skip policy recovers inside the attempt")
+                    }
+                },
+            }
+        }
+    }
+
+    /// One pass over the (non-quarantined) graphs. Returns the reward
+    /// accumulators, or the first unrecovered fault with its graph index.
+    fn epoch_attempt(
+        &mut self,
+        mut scratch: Option<&mut EpochScratch>,
+    ) -> Result<(f64, usize, usize), (usize, StepFault)> {
         let mut sum_reward = 0.0;
         let mut n_rewards = 0usize;
         let mut steps = 0usize;
-
         for gi in 0..self.instances.len() {
-            if let Some(mean_r) = self.step(gi, scratch.as_mut()) {
-                sum_reward += mean_r;
-                n_rewards += 1;
-                steps += 1;
+            if self.quarantined[gi] {
+                continue;
+            }
+            match self.step(gi, scratch.as_deref_mut()) {
+                Ok(Some(mean_r)) => {
+                    sum_reward += mean_r;
+                    n_rewards += 1;
+                    steps += 1;
+                }
+                Ok(None) => {}
+                Err(fault) => {
+                    if self.options.fault_policy == FaultPolicy::SkipSample {
+                        // Sample-scoped faults were already skipped inside
+                        // the step; what escapes is step-scoped, so the
+                        // graph itself is the hazard — quarantine it.
+                        self.quarantine_graph(gi, &fault);
+                    } else {
+                        return Err((gi, fault));
+                    }
+                }
             }
         }
+        Ok((sum_reward, n_rewards, steps))
+    }
 
-        let mean_best = if self.instances.is_empty() {
-            0.0
-        } else {
-            self.instances
-                .iter()
-                .map(|i| i.buffer.iter().map(|s| s.reward).fold(0.0, f64::max))
-                .sum::<f64>()
-                / self.instances.len() as f64
-        };
-
-        let stats = TrainStats {
-            mean_reward: if n_rewards > 0 {
-                sum_reward / n_rewards as f64
-            } else {
-                0.0
-            },
-            mean_best,
-            steps,
-        };
-        self.epochs_run += 1;
-        if let Some(sc) = scratch {
-            self.emit_epoch_telemetry(&stats, &sc);
+    fn epoch_snapshot(&self) -> EpochSnapshot {
+        let (adam_m, adam_v) = self.model.params().snapshot_moments();
+        EpochSnapshot {
+            params: self.model.params().snapshot(),
+            adam_m,
+            adam_v,
+            adam_t: self.adam.steps(),
+            rng: self.rng.clone(),
+            buffers: self.instances.iter().map(|i| i.buffer.clone()).collect(),
         }
-        drop(epoch_span);
-        stats
+    }
+
+    fn restore_epoch_snapshot(&mut self, snap: EpochSnapshot) {
+        self.model.params().restore(&snap.params);
+        self.model
+            .params()
+            .restore_moments(&snap.adam_m, &snap.adam_v);
+        self.adam.set_steps(snap.adam_t);
+        self.rng = snap.rng;
+        for (inst, buf) in self.instances.iter_mut().zip(snap.buffers) {
+            inst.buffer = buf;
+        }
+    }
+
+    fn quarantine_graph(&mut self, gi: usize, fault: &StepFault) {
+        if !self.quarantined[gi] {
+            self.quarantined[gi] = true;
+            self.fault_stats.quarantined_graphs += 1;
+            self.sink.counter("fault.quarantined_graphs", 1);
+        }
+        self.fault_log.push(FaultEvent {
+            kind: fault.kind,
+            epoch: self.epochs_run,
+            graph: gi,
+            sample: fault.sample,
+            detail: fault.detail.clone(),
+            action: RecoveryAction::QuarantinedGraph,
+        });
+    }
+
+    fn skip_sample(&mut self, gi: usize, fault: StepFault) {
+        self.fault_stats.skipped_samples += 1;
+        self.sink.counter("fault.skipped_samples", 1);
+        self.fault_log.push(FaultEvent {
+            kind: fault.kind,
+            epoch: self.epochs_run,
+            graph: gi,
+            sample: fault.sample,
+            detail: fault.detail,
+            action: RecoveryAction::SkippedSample,
+        });
     }
 
     /// Emit the per-epoch metric events (sink known to be enabled).
@@ -520,9 +889,15 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
     }
 
     /// One policy-gradient step on graph `gi`. Returns the mean on-policy
-    /// reward, or `None` if the graph has no edges. `scratch` collects
-    /// telemetry-only metrics when a sink is enabled.
-    fn step(&mut self, gi: usize, scratch: Option<&mut EpochScratch>) -> Option<f64> {
+    /// reward (`None` if the graph has no edges or the whole batch was
+    /// skipped), or the first fault the [`FaultPolicy`] does not recover
+    /// at sample scope. `scratch` collects telemetry-only metrics when a
+    /// sink is enabled.
+    fn step(
+        &mut self,
+        gi: usize,
+        scratch: Option<&mut EpochScratch>,
+    ) -> Result<Option<f64>, StepFault> {
         let opts = self.options.clone();
 
         // Forward pass (kept for the gradient).
@@ -530,7 +905,9 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         let mut tape = Tape::new();
         let (logits, probs) = {
             let inst = &self.instances[gi];
-            let logits = self.model.forward(&mut tape, &inst.graph, &inst.feats)?;
+            let Some(logits) = self.model.forward(&mut tape, &inst.graph, &inst.feats) else {
+                return Ok(None);
+            };
             let probs: Vec<f32> = tape
                 .value(logits)
                 .data
@@ -541,6 +918,17 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         };
         drop(forward_span);
 
+        // Guard rail (forward boundary): non-finite collapse probabilities
+        // mean the policy's log-probs are poisoned — no sample can be
+        // salvaged, so this is always a step-scoped fault.
+        if let Some(p) = probs.iter().find(|p| !p.is_finite()) {
+            return Err(StepFault {
+                kind: FaultKind::NonFiniteLogProb,
+                sample: None,
+                detail: format!("collapse probability {p} from the forward pass"),
+            });
+        }
+
         // On-policy rollouts on the deterministic engine: pre-draw one
         // decode seed per sample from the master RNG, so every sample's
         // stream is a pure function of its index and the batch runs on
@@ -550,7 +938,8 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             .map(|_| self.rng.gen())
             .collect();
         let rollout_span = self.sink.span("step.rollout");
-        let outcomes: Vec<RolloutOutcome> = {
+        let epoch = self.epochs_run;
+        let outcomes: Vec<Result<RolloutOutcome, String>> = {
             let inst = &self.instances[gi];
             let policy = &self.policy;
             let placer = &self.placer;
@@ -564,33 +953,54 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             // Workers read one cache snapshot for the whole batch;
             // misses are inserted afterwards in sample order.
             let cache = self.cache.graph(gi);
-            rollout::run_ordered(opts.num_workers, seeds.len(), |i| {
+            // Worker panics are caught per sample, so one poisoned rollout
+            // degrades to one `Err` slot instead of killing the epoch.
+            rollout::run_ordered_catching(opts.num_workers, seeds.len(), |i| {
                 let t0 = timed.then(Instant::now);
+                let inject_key = spg_sim::inject::rollout_key(epoch, gi, i);
+                let injected = spg_sim::inject::at(spg_sim::inject::Site::Rollout, inject_key);
+                if injected == Some(spg_sim::inject::Fault::WorkerPanic) {
+                    panic!("injected worker panic (epoch {epoch}, graph {gi}, sample {i})");
+                }
                 let mut rng = ChaCha8Rng::seed_from_u64(seeds[i]);
                 let decisions = policy.decode(probs, DecodeMode::Sample, &mut rng);
                 let key = rollout::collapse_key(priority, &decisions);
-                let outcome = match cache.get(&key).copied() {
-                    Some(reward) => RolloutOutcome {
+                let outcome = if injected == Some(spg_sim::inject::Fault::NanReward) {
+                    RolloutOutcome {
                         decisions,
                         key,
-                        reward,
-                        cached: true,
-                    },
-                    None => {
-                        let reward = rollout_reward(
-                            policy,
-                            &inst.graph,
-                            &inst.rates,
-                            cluster,
-                            &decisions,
-                            probs,
-                            placer,
-                        );
-                        RolloutOutcome {
+                        reward: f64::NAN,
+                        cached: false,
+                    }
+                } else {
+                    match cache.get(&key).copied() {
+                        Some(reward) => RolloutOutcome {
                             decisions,
                             key,
                             reward,
-                            cached: false,
+                            cached: true,
+                        },
+                        None => {
+                            // Give simulator-site injection a stable
+                            // per-sample identity for the duration of the
+                            // reward computation.
+                            let ctx = InjectContextGuard(spg_sim::inject::set_context(inject_key));
+                            let reward = rollout_reward(
+                                policy,
+                                &inst.graph,
+                                &inst.rates,
+                                cluster,
+                                &decisions,
+                                probs,
+                                placer,
+                            );
+                            drop(ctx);
+                            RolloutOutcome {
+                                decisions,
+                                key,
+                                reward,
+                                cached: false,
+                            }
                         }
                     }
                 };
@@ -604,15 +1014,45 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
 
         let mut samples: Vec<(Vec<bool>, f64, bool)> = Vec::new();
         let mut on_policy_sum = 0.0;
-        for out in outcomes {
-            self.cache.record(out.cached);
-            if !out.cached {
-                self.cache.insert(gi, out.key, out.reward);
+        let mut n_on_policy = 0usize;
+        for (i, res) in outcomes.into_iter().enumerate() {
+            // Guard rail (rollout boundary): non-finite rewards and worker
+            // panics are sample-scoped — under the skip policy the batch
+            // simply loses this sample.
+            let fault = match res {
+                Ok(out) if out.reward.is_finite() => {
+                    self.cache.record(out.cached);
+                    if !out.cached {
+                        self.cache.insert(gi, out.key, out.reward);
+                    }
+                    on_policy_sum += out.reward;
+                    n_on_policy += 1;
+                    samples.push((out.decisions, out.reward, false));
+                    continue;
+                }
+                Ok(out) => {
+                    // The lookup happened and missed; never memoize a
+                    // non-finite reward.
+                    self.cache.record(out.cached);
+                    StepFault {
+                        kind: FaultKind::NonFiniteReward,
+                        sample: Some(i),
+                        detail: format!("rollout reward {}", out.reward),
+                    }
+                }
+                Err(panic_msg) => StepFault {
+                    kind: FaultKind::WorkerPanic,
+                    sample: Some(i),
+                    detail: panic_msg,
+                },
+            };
+            if opts.fault_policy == FaultPolicy::SkipSample {
+                self.skip_sample(gi, fault);
+            } else {
+                return Err(fault);
             }
-            on_policy_sum += out.reward;
-            samples.push((out.decisions, out.reward, false));
         }
-        let on_policy_mean = on_policy_sum / opts.on_policy_samples.max(1) as f64;
+        let on_policy_mean = on_policy_sum / n_on_policy.max(1) as f64;
 
         // Mix in buffered best samples.
         {
@@ -620,6 +1060,11 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             for s in inst.buffer.iter().take(opts.buffer_samples) {
                 samples.push((s.decisions.clone(), s.reward, s.guided));
             }
+        }
+        if samples.is_empty() {
+            // Every on-policy sample was skipped and the buffer is empty:
+            // there is nothing to form a gradient from.
+            return Ok(None);
         }
 
         // Policy gradient with mean-reward baseline.
@@ -643,6 +1088,35 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         }
         self.model.params().zero_grad();
         tape.backward(loss);
+
+        // Guard rail (gradient boundary): check the loss value and the
+        // accumulated gradient norm before they can reach the optimiser.
+        // Both scans are pure reads, so results stay bitwise identical
+        // whether or not a fault ever fires.
+        let loss_value: f32 = tape.value(loss).data.iter().sum();
+        let grad_sq: f64 = self
+            .model
+            .params()
+            .params()
+            .iter()
+            .map(|p| {
+                p.0.borrow()
+                    .grad
+                    .data
+                    .iter()
+                    .map(|&g| f64::from(g) * f64::from(g))
+                    .sum::<f64>()
+            })
+            .sum();
+        if !loss_value.is_finite() || !grad_sq.is_finite() {
+            // Leave no poisoned gradients behind for the next step.
+            self.model.params().zero_grad();
+            return Err(StepFault {
+                kind: FaultKind::NonFiniteGradient,
+                sample: None,
+                detail: format!("loss {loss_value}, gradient norm² {grad_sq} after backward"),
+            });
+        }
         if let Some(sc) = scratch {
             // Telemetry-only metrics (the sink is enabled): min/max of the
             // on-policy rewards, the step baseline, mean Bernoulli entropy
@@ -663,24 +1137,46 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
                 .sum::<f64>()
                 / probs.len().max(1) as f64;
             sc.entropy_sum += entropy;
-            let grad_sq: f64 = self
-                .model
-                .params()
-                .params()
-                .iter()
-                .map(|p| {
-                    p.0.borrow()
-                        .grad
-                        .data
-                        .iter()
-                        .map(|&g| f64::from(g) * f64::from(g))
-                        .sum::<f64>()
-                })
-                .sum();
             sc.grad_norm_sum += grad_sq.sqrt();
             sc.steps += 1;
         }
+
+        // Under the skip policy a corrupted optimiser step must be
+        // undoable without an epoch snapshot, so stash the pre-step state.
+        let undo = (opts.fault_policy == FaultPolicy::SkipSample).then(|| {
+            let (m, v) = self.model.params().snapshot_moments();
+            (self.model.params().snapshot(), m, v, self.adam.steps())
+        });
         self.adam.step(self.model.params());
+
+        // Guard rail (Adam-step boundary): a non-finite parameter norm
+        // after the update means the model itself is corrupt.
+        let param_sq: f64 = self
+            .model
+            .params()
+            .params()
+            .iter()
+            .map(|p| {
+                p.0.borrow()
+                    .value
+                    .data
+                    .iter()
+                    .map(|&x| f64::from(x) * f64::from(x))
+                    .sum::<f64>()
+            })
+            .sum();
+        if !param_sq.is_finite() {
+            if let Some((values, m, v, t)) = undo {
+                self.model.params().restore(&values);
+                self.model.params().restore_moments(&m, &v);
+                self.adam.set_steps(t);
+            }
+            return Err(StepFault {
+                kind: FaultKind::NonFiniteParameters,
+                sample: None,
+                detail: format!("parameter norm² {param_sq} after the Adam step"),
+            });
+        }
         drop(backprop_span);
 
         // Buffer update: keep the top `buffer_capacity` by reward; drop
@@ -707,7 +1203,9 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         }
         inst.buffer.truncate(opts.buffer_capacity);
 
-        Some(on_policy_mean)
+        // A step with every on-policy sample skipped contributes no mean
+        // reward (a zero would skew the epoch statistics).
+        Ok((n_on_policy > 0 || opts.on_policy_samples == 0).then_some(on_policy_mean))
     }
 
     /// Mean greedy-decode reward over an evaluation set. Per-graph work

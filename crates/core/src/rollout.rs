@@ -75,6 +75,32 @@ where
         .collect()
 }
 
+/// [`run_ordered`] with per-job panic isolation: job `i`'s panic becomes
+/// `Err(message)` in slot `i` instead of unwinding through the pool, so
+/// one poisoned sample cannot take down the epoch and the ordered
+/// deterministic reduction over the surviving slots is preserved (the
+/// catch wraps the closure itself, so the sequential and parallel paths
+/// degrade identically).
+pub fn run_ordered_catching<T, F>(num_workers: usize, n_jobs: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_ordered(num_workers, n_jobs, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(panic_message)
+    })
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Canonical memoization key of a rollout: the accepted (collapsed)
 /// edges in the order [`crate::policy::CoarseningPolicy::apply`] applies
 /// them. Two (decisions, probs) pairs with equal keys produce the same
@@ -193,6 +219,27 @@ mod tests {
     fn run_ordered_handles_empty_and_single() {
         assert!(run_ordered(4, 0, |i| i).is_empty());
         assert_eq!(run_ordered(4, 1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn run_ordered_catching_isolates_panics_per_job() {
+        // Suppress the default panic hook's stderr spam for the
+        // intentional panics below.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let f = |i: usize| {
+            if i.is_multiple_of(3) {
+                panic!("boom at {i}");
+            }
+            i * 10
+        };
+        let seq = run_ordered_catching(1, 10, f);
+        let par = run_ordered_catching(4, 10, f);
+        std::panic::set_hook(prev);
+        assert_eq!(seq, par, "panic isolation must stay scheduling-invariant");
+        assert_eq!(seq[0], Err("boom at 0".to_string()));
+        assert_eq!(seq[1], Ok(10));
+        assert_eq!(seq.iter().filter(|r| r.is_err()).count(), 4);
     }
 
     #[test]

@@ -37,6 +37,12 @@ impl Adam {
         self.t
     }
 
+    /// Overwrite the step counter (bias-correction schedule) — used when
+    /// restoring optimiser state from a checkpoint or epoch snapshot.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Apply one update from the gradients accumulated in `params`, then
     /// zero them.
     pub fn step(&mut self, params: &ParamSet) {

@@ -117,6 +117,27 @@ impl ParamSet {
             p.set_value(m.clone());
         }
     }
+
+    /// Snapshot the Adam moments `(m, v)` of every parameter, in
+    /// registration order (for checkpointing optimiser state).
+    pub fn snapshot_moments(&self) -> (Vec<Matrix>, Vec<Matrix>) {
+        let m = self.params.iter().map(|p| p.0.borrow().m.clone()).collect();
+        let v = self.params.iter().map(|p| p.0.borrow().v.clone()).collect();
+        (m, v)
+    }
+
+    /// Restore Adam moments from a [`Self::snapshot_moments`] snapshot.
+    pub fn restore_moments(&self, m: &[Matrix], v: &[Matrix]) {
+        assert_eq!(m.len(), self.params.len(), "moment (m) arity mismatch");
+        assert_eq!(v.len(), self.params.len(), "moment (v) arity mismatch");
+        for (p, (mm, vv)) in self.params.iter().zip(m.iter().zip(v)) {
+            let mut d = p.0.borrow_mut();
+            assert_eq!((d.value.rows, d.value.cols), (mm.rows, mm.cols));
+            assert_eq!((d.value.rows, d.value.cols), (vv.rows, vv.cols));
+            d.m = mm.clone();
+            d.v = vv.clone();
+        }
+    }
 }
 
 #[cfg(test)]

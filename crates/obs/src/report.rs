@@ -208,6 +208,29 @@ impl Summary {
             }
         }
 
+        // Fault tolerance: only shown when something was recovered from
+        // (or the run was resumed), so healthy reports stay unchanged.
+        let fault_counters = [
+            ("fault.skipped_samples", "samples skipped"),
+            ("fault.quarantined_graphs", "graphs quarantined"),
+            ("fault.rollbacks", "epoch rollbacks"),
+            ("train.resumes", "resumes from checkpoint"),
+        ];
+        if fault_counters
+            .iter()
+            .any(|(n, _)| self.counter(n).is_some())
+        {
+            let _ = writeln!(out, "\nfaults & recovery:");
+            let label_w = fault_counters.iter().map(|(_, l)| l.len()).max().unwrap();
+            for (name, label) in fault_counters {
+                let _ = writeln!(
+                    out,
+                    "  {label:<label_w$}  {}",
+                    self.counter(name).unwrap_or(0)
+                );
+            }
+        }
+
         // Rollout occupancy: busy sample time vs. workers * rollout wall.
         if let (Some(h), Some(span), Some(workers)) = (
             self.hists
@@ -319,6 +342,27 @@ mod tests {
         assert!(text.contains("reward cache hit rate: 80.0%"), "{text}");
         assert!(text.contains("reward.mean curve (2 epochs)"), "{text}");
         assert!(text.contains("rollout occupancy"), "{text}");
+    }
+
+    #[test]
+    fn faults_section_renders_only_when_present() {
+        let lines = sample_lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        assert!(!s.render().contains("faults & recovery"));
+
+        let sink = TelemetrySink::memory();
+        sink.counter("fault.skipped_samples", 3);
+        sink.counter("fault.quarantined_graphs", 1);
+        sink.counter("train.resumes", 1);
+        let lines = sink.lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        let text = s.render();
+        assert!(text.contains("faults & recovery"), "{text}");
+        assert!(text.contains("samples skipped"), "{text}");
+        assert!(text.contains("graphs quarantined"), "{text}");
+        // Unrecorded fault counters render as 0 once the section shows.
+        assert!(text.contains("epoch rollbacks"), "{text}");
+        assert!(text.contains("resumes from checkpoint"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Deterministic fault injection for exercising recovery paths.
+//!
+//! A [`FaultInjector`] is a seed-driven plan of faults keyed by *site*
+//! (where in the runtime the check happens) and *key* (a caller-chosen
+//! identifier such as "epoch 3, graph 1, sample 2"). Because decisions are
+//! a pure function of `(seed, site, key)` — never of call order or thread
+//! scheduling — an injected fault fires at the same logical point no matter
+//! how many rollout workers run, which keeps the fault-tolerance tests
+//! deterministic.
+//!
+//! The injector is process-global but disarmed by default: the fast path is
+//! a single relaxed atomic load, so production runs pay essentially nothing.
+//! Tests arm it through [`armed`], which also holds a process-wide lock so
+//! concurrently running `#[test]`s cannot observe each other's faults.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Where in the runtime a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Per-sample rollout work inside the trainer's rollout engine.
+    Rollout,
+    /// Inside a simulator evaluation (analytic or discrete-time).
+    Simulator,
+    /// Between a checkpoint's temp-file write and its atomic rename.
+    CheckpointSave,
+}
+
+impl Site {
+    fn tag(self) -> u64 {
+        match self {
+            Site::Rollout => 0x524f_4c4c,
+            Site::Simulator => 0x5349_4d55,
+            Site::CheckpointSave => 0x434b_5054,
+        }
+    }
+}
+
+/// What to inject when a site/key matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Replace the computed reward with NaN.
+    NanReward,
+    /// Panic inside the worker (exercises panic isolation).
+    WorkerPanic,
+    /// Fail the simulator itself (manifests as a panic in the caller).
+    SimError,
+    /// Simulate a crash: the operation stops before completing.
+    Kill,
+}
+
+impl Fault {
+    fn tag(self) -> u64 {
+        match self {
+            Fault::NanReward => 1,
+            Fault::WorkerPanic => 2,
+            Fault::SimError => 3,
+            Fault::Kill => 4,
+        }
+    }
+}
+
+/// Plan-entry key that matches every key at its site.
+pub const ANY_KEY: u64 = u64::MAX;
+
+/// Key used for sites reached without a caller-provided context (e.g. a
+/// simulator call outside training). Rate-based injection skips it.
+pub const NO_CONTEXT: u64 = u64::MAX - 1;
+
+/// A seed-driven fault plan. Build with the fluent [`Self::at`] /
+/// [`Self::rate`] and activate with [`arm`] or [`armed`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: Vec<(Site, u64, Fault)>,
+    rates: Vec<(Site, Fault, f64)>,
+}
+
+impl FaultInjector {
+    /// An empty plan with the given decision seed (used by [`Self::rate`]).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            plan: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    /// Inject `fault` whenever `site` is reached with `key` ([`ANY_KEY`]
+    /// matches every key).
+    pub fn at(mut self, site: Site, key: u64, fault: Fault) -> Self {
+        self.plan.push((site, key, fault));
+        self
+    }
+
+    /// Inject `fault` at `site` with probability `p`, decided by hashing
+    /// `(seed, site, fault, key)` — scheduling-independent, so the same
+    /// keys fault on every run with the same seed.
+    pub fn rate(mut self, site: Site, fault: Fault, p: f64) -> Self {
+        self.rates.push((site, fault, p));
+        self
+    }
+
+    /// True if the plan can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty() && self.rates.iter().all(|(_, _, p)| *p <= 0.0)
+    }
+
+    fn decide(&self, site: Site, key: u64) -> Option<Fault> {
+        for (s, k, f) in &self.plan {
+            if *s == site && (*k == ANY_KEY || *k == key) {
+                return Some(*f);
+            }
+        }
+        if key == NO_CONTEXT {
+            // No stable identity to hash: a rate roll here would fault
+            // either every call or none, so skip rate-based injection.
+            return None;
+        }
+        for (s, f, p) in &self.rates {
+            if *s == site && *p > 0.0 {
+                let h = splitmix64(
+                    self.seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(site.tag())
+                        .wrapping_add(f.tag() << 32)
+                        ^ key,
+                );
+                // Top 53 bits as a unit float.
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < *p {
+                    return Some(*f);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+static INJECTOR_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn injector() -> &'static Mutex<Option<FaultInjector>> {
+    static G: OnceLock<Mutex<Option<FaultInjector>>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Injected panics unwind through guard scopes; the plan itself is
+    // never left half-written, so poisoning carries no information here.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Install and activate a process-wide fault plan.
+pub fn arm(plan: FaultInjector) {
+    *lock_unpoisoned(injector()) = Some(plan);
+    INJECTOR_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Deactivate fault injection.
+pub fn disarm() {
+    INJECTOR_ARMED.store(false, Ordering::SeqCst);
+    *lock_unpoisoned(injector()) = None;
+}
+
+/// Should a fault fire at `site` for `key`? `None` unless armed and the
+/// plan matches. This is the hook sites call; the disarmed fast path is a
+/// single relaxed atomic load.
+pub fn at(site: Site, key: u64) -> Option<Fault> {
+    if !INJECTOR_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    lock_unpoisoned(injector())
+        .as_ref()
+        .and_then(|i| i.decide(site, key))
+}
+
+/// RAII guard from [`armed`]: disarms (and releases the test serialisation
+/// lock) on drop.
+pub struct ArmedGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+/// Arm `plan` for the lifetime of the returned guard, serialising against
+/// every other [`armed`] caller in the process. Tests that inject faults
+/// MUST use this (or [`test_serial`]) so cargo's parallel test threads do
+/// not leak faults into each other.
+pub fn armed(plan: FaultInjector) -> ArmedGuard {
+    let serial = test_serial();
+    arm(plan);
+    ArmedGuard { _serial: serial }
+}
+
+/// The process-wide serialisation lock used by [`armed`]; tests that must
+/// run with injection *disabled* while other tests inject can hold it too.
+pub fn test_serial() -> MutexGuard<'static, ()> {
+    static L: OnceLock<Mutex<()>> = OnceLock::new();
+    lock_unpoisoned(L.get_or_init(|| Mutex::new(())))
+}
+
+thread_local! {
+    static CONTEXT_KEY: Cell<u64> = const { Cell::new(NO_CONTEXT) };
+}
+
+/// Set this thread's injection context key (e.g. the rollout key of the
+/// sample being evaluated) so keyless sites like [`Site::Simulator`]
+/// inherit a stable identity. Returns the previous key.
+pub fn set_context(key: u64) -> u64 {
+    CONTEXT_KEY.with(|c| c.replace(key))
+}
+
+/// Clear this thread's injection context key.
+pub fn clear_context() {
+    CONTEXT_KEY.with(|c| c.set(NO_CONTEXT));
+}
+
+/// This thread's injection context key ([`NO_CONTEXT`] if unset).
+pub fn context_key() -> u64 {
+    CONTEXT_KEY.with(Cell::get)
+}
+
+/// Stable key for "epoch `epoch`, graph `graph`, sample `sample`" rollout
+/// work: 24 bits of epoch, 20 of graph, 20 of sample.
+pub fn rollout_key(epoch: u64, graph: usize, sample: usize) -> u64 {
+    (epoch << 40) | ((graph as u64 & 0xf_ffff) << 20) | (sample as u64 & 0xf_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let _serial = test_serial();
+        assert_eq!(at(Site::Rollout, 7), None);
+    }
+
+    #[test]
+    fn plan_entries_match_exact_and_wildcard_keys() {
+        let plan = FaultInjector::new(0)
+            .at(Site::Rollout, 3, Fault::NanReward)
+            .at(Site::CheckpointSave, ANY_KEY, Fault::Kill);
+        let _g = armed(plan);
+        assert_eq!(at(Site::Rollout, 3), Some(Fault::NanReward));
+        assert_eq!(at(Site::Rollout, 4), None);
+        assert_eq!(at(Site::CheckpointSave, 0), Some(Fault::Kill));
+        assert_eq!(at(Site::CheckpointSave, 99), Some(Fault::Kill));
+        assert_eq!(at(Site::Simulator, 3), None);
+    }
+
+    #[test]
+    fn rate_decisions_are_key_determined_and_roughly_calibrated() {
+        let inj = FaultInjector::new(11).rate(Site::Rollout, Fault::WorkerPanic, 0.25);
+        let first: Vec<bool> = (0..4000)
+            .map(|k| inj.decide(Site::Rollout, k).is_some())
+            .collect();
+        let again: Vec<bool> = (0..4000)
+            .map(|k| inj.decide(Site::Rollout, k).is_some())
+            .collect();
+        assert_eq!(first, again, "decisions must be pure in (seed, site, key)");
+        let hits = first.iter().filter(|&&b| b).count();
+        assert!((800..1200).contains(&hits), "hit rate off: {hits}/4000");
+        // A different seed flips some decisions.
+        let other = FaultInjector::new(12).rate(Site::Rollout, Fault::WorkerPanic, 0.25);
+        assert!((0..4000).any(|k| inj.decide(Site::Rollout, k) != other.decide(Site::Rollout, k)));
+        // Rates never fire without a context identity.
+        assert_eq!(inj.decide(Site::Rollout, NO_CONTEXT), None);
+    }
+
+    #[test]
+    fn context_key_is_thread_local_and_restorable() {
+        let prev = set_context(42);
+        assert_eq!(prev, NO_CONTEXT);
+        assert_eq!(context_key(), 42);
+        let handle = std::thread::spawn(context_key);
+        assert_eq!(handle.join().unwrap(), NO_CONTEXT);
+        clear_context();
+        assert_eq!(context_key(), NO_CONTEXT);
+    }
+
+    #[test]
+    fn rollout_keys_do_not_collide_for_distinct_samples() {
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..4 {
+            for graph in 0..8 {
+                for sample in 0..8 {
+                    assert!(seen.insert(rollout_key(epoch, graph, sample)));
+                }
+            }
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod analytic;
 pub mod des;
 pub mod hetero;
+pub mod inject;
 pub mod latency;
 pub mod metrics;
 pub mod reward;

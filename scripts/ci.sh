@@ -20,3 +20,22 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$SPG" report "$SMOKE_DIR/metrics.jsonl"
 "$SPG" evaluate --dataset "$SMOKE_DIR/ds.json" --model "$SMOKE_DIR/model.json"
 echo "e2e smoke OK"
+
+# Fault-tolerance: the dedicated injection/resume test suite, then a
+# kill-and-resume smoke through the binary — a run killed after epoch 2
+# and resumed from its snapshot must produce a checkpoint byte-identical
+# to an uninterrupted 4-epoch run.
+cargo test -q --test fault_tolerance
+"$SPG" train --dataset "$SMOKE_DIR/ds.json" --epochs 4 --seed 2 \
+    --out "$SMOKE_DIR/straight.json"
+if "$SPG" train --dataset "$SMOKE_DIR/ds.json" --epochs 4 --seed 2 \
+    --checkpoint-every 2 --inject-kill-after 2 --out "$SMOKE_DIR/crashed.json"; then
+    echo "expected the injected crash to exit nonzero" >&2
+    exit 1
+fi
+test ! -e "$SMOKE_DIR/crashed.json"   # died before the final save
+"$SPG" train --dataset "$SMOKE_DIR/ds.json" --epochs 4 --seed 2 \
+    --checkpoint-every 2 --resume "$SMOKE_DIR/crashed.json.epoch-2" \
+    --out "$SMOKE_DIR/crashed.json"
+cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/crashed.json"
+echo "kill-and-resume smoke OK"

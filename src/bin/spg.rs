@@ -20,13 +20,14 @@ use spg::cli::{
 };
 use spg::eval::evaluate_allocator;
 use spg::gen::DatasetSpec;
-use spg::graph::serialize::Dataset;
+use spg::graph::serialize::{Dataset, DatasetError};
 use spg::graph::Allocator;
 use spg::model::checkpoint::Checkpoint;
 use spg::model::pipeline::MetisCoarsePlacer;
 use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
 use spg::obs::{Summary, TelemetrySink};
 use spg::partition::MetisAllocator;
+use spg::sim::inject;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -54,7 +55,11 @@ fn main() -> ExitCode {
 
 fn load_dataset(path: &Path) -> Result<Dataset, ExitCode> {
     Dataset::load(path).map_err(|e| {
-        eprintln!("failed to read {}: {e}", path.display());
+        match &e {
+            // Io/Parse messages already name the offending path.
+            DatasetError::Io { .. } | DatasetError::Parse { .. } => eprintln!("{e}"),
+            _ => eprintln!("{}: {e}", path.display()),
+        }
         ExitCode::FAILURE
     })
 }
@@ -89,6 +94,30 @@ fn generate(args: GenerateArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Arm the process-global fault injector from the `--inject-*` rate
+/// flags. The returned guard keeps it armed for the duration of training.
+fn arm_injector(args: &TrainArgs) -> Option<inject::ArmedGuard> {
+    if args.inject_nan_rewards <= 0.0 && args.inject_worker_panics <= 0.0 {
+        return None;
+    }
+    let mut plan = inject::FaultInjector::new(args.seed);
+    if args.inject_nan_rewards > 0.0 {
+        plan = plan.rate(
+            inject::Site::Rollout,
+            inject::Fault::NanReward,
+            args.inject_nan_rewards,
+        );
+    }
+    if args.inject_worker_panics > 0.0 {
+        plan = plan.rate(
+            inject::Site::Rollout,
+            inject::Fault::WorkerPanic,
+            args.inject_worker_panics,
+        );
+    }
+    Some(inject::armed(plan))
+}
+
 fn train(args: TrainArgs) -> ExitCode {
     let ds = match load_dataset(&args.dataset) {
         Ok(ds) => ds,
@@ -104,32 +133,88 @@ fn train(args: TrainArgs) -> ExitCode {
         },
         None => TelemetrySink::disabled(),
     };
+    let _inject_guard = arm_injector(&args);
     let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
     let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
-    let mut options = TrainOptions::new().metis_guided(args.guide).seed(args.seed);
+    let mut options = TrainOptions::new()
+        .metis_guided(args.guide)
+        .seed(args.seed)
+        .fault_policy(args.fault_policy)
+        .checkpoint_every(args.checkpoint_every)
+        .checkpoint_keep(args.checkpoint_keep);
     if let Some(workers) = args.workers {
         options = options.num_workers(workers);
     }
     let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(args.seed ^ 1))
-        .graphs(ds.graphs)
-        .cluster(ds.cluster)
-        .source_rate(ds.source_rate)
+        .dataset(ds)
         .options(options)
         .telemetry(sink)
         .build();
-    for e in 0..args.epochs {
-        let stats = trainer.train_epoch();
+    let manager = trainer.checkpoint_manager(&args.out);
+
+    if let Some(path) = &args.resume {
+        let ck = match load_checkpoint(path) {
+            Ok(ck) => ck,
+            Err(code) => return code,
+        };
+        if let Err(e) = trainer.resume_from(&ck) {
+            eprintln!("cannot resume from {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "resumed from {} at epoch {}",
+            path.display(),
+            trainer.epochs_run()
+        );
+    }
+
+    while trainer.epochs_run() < args.epochs as u64 {
+        let e = trainer.epochs_run();
+        let stats = match trainer.try_train_epoch() {
+            Ok(stats) => stats,
+            Err(fault) => {
+                trainer.telemetry().flush();
+                eprintln!("training aborted: {fault}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!(
             "epoch {e:>3}: mean reward {:.3}  best-in-buffer {:.3}",
             stats.mean_reward, stats.mean_best
         );
+        let epoch = trainer.epochs_run();
+        match manager.maybe_save(&trainer.checkpoint(), epoch) {
+            Ok(Some(path)) => println!("snapshot written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("failed to write snapshot for epoch {epoch}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if args.inject_kill_after == Some(epoch) {
+            trainer.telemetry().flush();
+            eprintln!("injected crash after epoch {epoch} (--inject-kill-after)");
+            return ExitCode::FAILURE;
+        }
     }
     trainer.telemetry().flush();
-    let model = trainer.into_model();
-    if let Err(e) = Checkpoint::from_model(&model).save(&args.out) {
+    let faults = trainer.fault_stats();
+    if faults.skipped_samples + faults.quarantined_graphs + faults.rollbacks > 0 {
+        println!(
+            "faults recovered: {} samples skipped, {} graphs quarantined \
+             ({:?}), {} epoch rollbacks",
+            faults.skipped_samples,
+            faults.quarantined_graphs,
+            trainer.quarantined_graphs(),
+            faults.rollbacks
+        );
+    }
+    let ckpt = trainer.checkpoint();
+    if let Err(e) = ckpt.save(&args.out) {
         eprintln!("failed to write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
+    let model = trainer.into_model();
     println!(
         "saved model ({} parameters) to {}",
         model.num_parameters(),

@@ -6,6 +6,7 @@
 //! subcommand answers `--help` with its own usage text (the same text the
 //! README's CLI section is generated from).
 
+use spg_core::FaultPolicy;
 use spg_gen::Setting;
 use std::fmt;
 use std::path::PathBuf;
@@ -57,6 +58,20 @@ pub struct TrainArgs {
     pub workers: Option<usize>,
     /// Telemetry JSONL output path (`None` = telemetry disabled).
     pub metrics: Option<PathBuf>,
+    /// Checkpoint to resume training from (`--resume`).
+    pub resume: Option<PathBuf>,
+    /// Periodic snapshot interval in epochs (0 = disabled).
+    pub checkpoint_every: usize,
+    /// How many periodic snapshots to keep.
+    pub checkpoint_keep: usize,
+    /// What to do when a training-time fault is detected.
+    pub fault_policy: FaultPolicy,
+    /// Fault injection: simulate a crash after this epoch completes.
+    pub inject_kill_after: Option<u64>,
+    /// Fault injection: probability of a NaN rollout reward per sample.
+    pub inject_nan_rewards: f64,
+    /// Fault injection: probability of a rollout worker panic per sample.
+    pub inject_worker_panics: f64,
 }
 
 /// Arguments of `spg evaluate`.
@@ -151,7 +166,19 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --seed S        training seed (default 0)\n\
              \x20 --no-guide      disable Metis-guided buffer seeding\n\
              \x20 --workers N     rollout worker threads (default: auto)\n\
-             \x20 --metrics FILE  write telemetry events (JSONL) to FILE"
+             \x20 --metrics FILE  write telemetry events (JSONL) to FILE\n\
+             \n\
+             fault tolerance:\n\
+             \x20 --resume FILE           resume from a checkpoint written by a crashed\n\
+             \x20                         or interrupted run (same seed and dataset)\n\
+             \x20 --checkpoint-every N    write FILE.epoch-<E> snapshots every N epochs\n\
+             \x20 --checkpoint-keep K     keep only the newest K snapshots (default 3)\n\
+             \x20 --fault-policy P        skip | rollback | abort (default abort)\n\
+             \n\
+             fault injection (testing the recovery paths):\n\
+             \x20 --inject-kill-after E       exit(1) after epoch E completes\n\
+             \x20 --inject-nan-rewards P      NaN rollout rewards at rate P (seeded)\n\
+             \x20 --inject-worker-panics P    rollout worker panics at rate P (seeded)"
             .to_string(),
         "evaluate" => "usage: spg evaluate --dataset FILE [--model FILE]\n\
              \n\
@@ -231,6 +258,18 @@ where
     })
 }
 
+/// Parse an injection-rate flag value: a probability in `[0, 1]`.
+fn parse_rate(flag: &str, a: &mut Args<'_>) -> Result<f64, CliError> {
+    let p: f64 = parse_num("train", flag, a.value(flag)?)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(CliError::Usage(format!(
+            "invalid value `{p}` for --{flag}: must be a probability in [0, 1] \
+             (see `spg train --help`)"
+        )));
+    }
+    Ok(p)
+}
+
 impl Command {
     /// Parse the argument list after the program name.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
@@ -293,6 +332,10 @@ impl Command {
         let mut a = Args::new("train", rest);
         let (mut dataset, mut out, mut workers, mut metrics) = (None, None, None, None);
         let (mut epochs, mut seed, mut guide) = (10usize, 0u64, true);
+        let (mut resume, mut checkpoint_every, mut checkpoint_keep) = (None, 0usize, 3usize);
+        let mut fault_policy = FaultPolicy::default();
+        let mut inject_kill_after = None;
+        let (mut inject_nan_rewards, mut inject_worker_panics) = (0.0f64, 0.0f64);
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("train"))),
@@ -303,6 +346,31 @@ impl Command {
                 "--no-guide" => guide = false,
                 "--workers" => workers = Some(parse_num("train", "workers", a.value("workers")?)?),
                 "--metrics" => metrics = Some(PathBuf::from(a.value("metrics")?)),
+                "--resume" => resume = Some(PathBuf::from(a.value("resume")?)),
+                "--checkpoint-every" => {
+                    checkpoint_every =
+                        parse_num("train", "checkpoint-every", a.value("checkpoint-every")?)?
+                }
+                "--checkpoint-keep" => {
+                    checkpoint_keep =
+                        parse_num("train", "checkpoint-keep", a.value("checkpoint-keep")?)?
+                }
+                "--fault-policy" => {
+                    fault_policy = parse_num("train", "fault-policy", a.value("fault-policy")?)?
+                }
+                "--inject-kill-after" => {
+                    inject_kill_after = Some(parse_num(
+                        "train",
+                        "inject-kill-after",
+                        a.value("inject-kill-after")?,
+                    )?)
+                }
+                "--inject-nan-rewards" => {
+                    inject_nan_rewards = parse_rate("inject-nan-rewards", &mut a)?
+                }
+                "--inject-worker-panics" => {
+                    inject_worker_panics = parse_rate("inject-worker-panics", &mut a)?
+                }
                 other => return Err(a.unknown(other)),
             }
         }
@@ -314,6 +382,13 @@ impl Command {
             guide,
             workers,
             metrics,
+            resume,
+            checkpoint_every,
+            checkpoint_keep,
+            fault_policy,
+            inject_kill_after,
+            inject_nan_rewards,
+            inject_worker_panics,
         }))
     }
 
@@ -443,6 +518,41 @@ mod tests {
         };
         assert_eq!((t.epochs, t.seed, t.guide), (10, 0, true));
         assert_eq!((t.workers, t.metrics), (None, None));
+        assert_eq!(t.resume, None);
+        assert_eq!((t.checkpoint_every, t.checkpoint_keep), (0, 3));
+        assert_eq!(t.fault_policy, FaultPolicy::Abort);
+        assert_eq!(t.inject_kill_after, None);
+        assert_eq!((t.inject_nan_rewards, t.inject_worker_panics), (0.0, 0.0));
+    }
+
+    #[test]
+    fn train_fault_tolerance_flags() {
+        let cmd = parse(
+            "train --dataset d --out m --resume m.epoch-4 --checkpoint-every 2 \
+             --checkpoint-keep 5 --fault-policy rollback --inject-kill-after 4 \
+             --inject-nan-rewards 0.25 --inject-worker-panics 0.5",
+        )
+        .unwrap();
+        let Command::Train(t) = cmd else { panic!() };
+        assert_eq!(t.resume, Some(PathBuf::from("m.epoch-4")));
+        assert_eq!((t.checkpoint_every, t.checkpoint_keep), (2, 5));
+        assert_eq!(t.fault_policy, FaultPolicy::RollbackToSnapshot);
+        assert_eq!(t.inject_kill_after, Some(4));
+        assert_eq!((t.inject_nan_rewards, t.inject_worker_panics), (0.25, 0.5));
+    }
+
+    #[test]
+    fn train_rejects_bad_fault_policy_and_rates() {
+        let Err(CliError::Usage(msg)) = parse("train --dataset d --out m --fault-policy yolo")
+        else {
+            panic!()
+        };
+        assert!(msg.contains("`yolo`") && msg.contains("rollback"), "{msg}");
+        let Err(CliError::Usage(msg)) = parse("train --dataset d --out m --inject-nan-rewards 2")
+        else {
+            panic!()
+        };
+        assert!(msg.contains("probability"), "{msg}");
     }
 
     #[test]
