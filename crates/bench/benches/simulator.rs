@@ -32,12 +32,15 @@ fn bench_simulators(c: &mut Criterion) {
             })
         });
 
-        // Shorter DES run for benching (still converged for these sizes).
+        // Shorter DES run for benching: small fixed blocks with the
+        // adaptive extension capped so the bench measures the kernel,
+        // not convergence patience.
         let cfg = DesConfig {
             dt: 1e-3,
             warmup_steps: 1000,
             measure_steps: 1000,
-            queue_capacity: 200.0,
+            max_measure_blocks: 1,
+            ..DesConfig::default()
         };
         group.bench_with_input(
             BenchmarkId::new("discrete_time", setting.slug()),

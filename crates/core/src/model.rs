@@ -4,7 +4,8 @@ use crate::collapse::CollapseHead;
 use crate::config::CoarsenConfig;
 use crate::encoder::EdgeAwareGnn;
 use rand::Rng;
-use spg_graph::{ClusterSpec, GraphFeatures, StreamGraph};
+use spg_graph::features::{EdgeFeatures, NodeFeatures};
+use spg_graph::{ClusterSpec, GraphFeatures, StreamGraph, TopoView};
 use spg_nn::{ParamSet, Tape, Var};
 
 /// The edge-collapsing coarsening model (§IV).
@@ -75,6 +76,71 @@ impl CoarsenModel {
     pub fn num_parameters(&self) -> usize {
         self.params.num_scalars()
     }
+
+    /// Inference-only probabilities for many graphs in **one** forward
+    /// pass, returned in input order.
+    ///
+    /// The batch is encoded as a disjoint union: node features are
+    /// concatenated and edge endpoints offset by each graph's node base.
+    /// Every op on the inference path is row-wise or segment-wise
+    /// (gathers, per-row linears, per-destination mean pooling), and a
+    /// union never mixes segments across graphs, so each graph's
+    /// probabilities are **bitwise identical** to a solo
+    /// [`Self::predict_probs_with_features`] call — batching is purely a
+    /// throughput optimisation (one tape, one weight traversal).
+    ///
+    /// Edgeless graphs are excluded from the union (their solo pass
+    /// early-returns before message passing, which a union would not
+    /// replicate) and simply get an empty probability vector.
+    pub fn predict_probs_batch(&self, items: &[(&StreamGraph, &GraphFeatures)]) -> Vec<Vec<f32>> {
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); items.len()];
+        let edged: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].0.num_edges() > 0)
+            .collect();
+        if edged.is_empty() {
+            return out;
+        }
+
+        let mut node = Vec::new();
+        let mut edge = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut base = 0u32;
+        for &i in &edged {
+            let (g, f) = items[i];
+            node.extend_from_slice(&f.node.0);
+            edge.extend_from_slice(&f.edge.0);
+            edges.extend(
+                g.topo_view()
+                    .edges
+                    .iter()
+                    .map(|&(u, v)| (u + base, v + base)),
+            );
+            base += g.num_nodes() as u32;
+        }
+        let feats = GraphFeatures {
+            node: NodeFeatures(node),
+            edge: EdgeFeatures(edge),
+            num_nodes: base as usize,
+            num_edges: edges.len(),
+        };
+        let view = TopoView {
+            num_nodes: base as usize,
+            edges: &edges,
+        };
+
+        let mut t = Tape::new();
+        let h = self.encoder.encode(&mut t, &view, &feats);
+        let z = self.head.logits(&mut t, &view, &feats, h);
+        let logits = &t.value(z).data;
+
+        let mut pos = 0;
+        for &i in &edged {
+            let e = items[i].0.num_edges();
+            out[i] = logits[pos..pos + e].iter().map(|&x| sigmoid(x)).collect();
+            pos += e;
+        }
+        out
+    }
 }
 
 #[inline]
@@ -134,6 +200,43 @@ mod tests {
         let g = tiny();
         let c = ClusterSpec::paper_medium(4);
         assert_eq!(m1.predict_probs(&g, &c, 1e4), m2.predict_probs(&g, &c, 1e4));
+    }
+
+    #[test]
+    fn batched_probs_are_bitwise_identical_to_solo() {
+        use spg_gen::{DatasetSpec, Setting};
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+        let spec = DatasetSpec::scaled_down(Setting::Small);
+        let cluster = spec.cluster();
+
+        let mut edgeless = StreamGraphBuilder::new();
+        edgeless.add_node(Operator::new(1.0));
+        let graphs = [
+            spg_gen::generate_graph(&spec, 0),
+            edgeless.finish().unwrap(),
+            spg_gen::generate_graph(&spec, 1),
+            tiny(),
+        ];
+        let feats: Vec<_> = graphs
+            .iter()
+            .map(|g| spg_graph::GraphFeatures::extract(g, &cluster, spec.source_rate))
+            .collect();
+        let items: Vec<(&StreamGraph, &spg_graph::GraphFeatures)> =
+            graphs.iter().zip(&feats).collect();
+
+        let batched = model.predict_probs_batch(&items);
+        assert_eq!(batched.len(), graphs.len());
+        for (i, (g, f)) in items.iter().enumerate() {
+            let solo = model.predict_probs_with_features(g, f);
+            assert_eq!(solo.len(), g.num_edges());
+            assert_eq!(
+                solo.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                batched[i].iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+                "graph {i}: batched probs must be bitwise identical to solo"
+            );
+        }
+        assert!(batched[1].is_empty(), "edgeless graph gets empty probs");
     }
 
     #[test]

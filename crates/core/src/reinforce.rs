@@ -55,9 +55,11 @@ pub struct TrainOptions {
     pub drop_guided_when_beaten: bool,
     /// RNG seed.
     pub seed: u64,
-    /// Rollout worker threads (default: available parallelism; `1` runs
-    /// the sequential path). Results are bitwise identical for every
-    /// value — see [`crate::rollout`].
+    /// Requested rollout worker threads (default: available
+    /// parallelism; `1` runs the sequential path). The count actually
+    /// used is [`TrainOptions::effective_workers`], which clamps to the
+    /// machine's available parallelism. Results are bitwise identical
+    /// for every value — see [`crate::rollout`].
     pub num_workers: usize,
     /// What to do when a non-finite value or worker panic is detected
     /// during training (default: [`FaultPolicy::Abort`]).
@@ -139,6 +141,16 @@ impl TrainOptions {
     pub fn num_workers(mut self, n: usize) -> Self {
         self.num_workers = n;
         self
+    }
+
+    /// Worker count actually used for rollouts: [`Self::num_workers`]
+    /// clamped to the machine's available parallelism. A pool wider
+    /// than the core count only adds scheduling overhead (on a 1-core
+    /// container `--workers 4` benched *slower* than `1`), so requests
+    /// the hardware cannot honour degrade to the sequential path
+    /// instead of a pessimization.
+    pub fn effective_workers(&self) -> usize {
+        self.num_workers.clamp(1, rollout::default_workers())
     }
 
     /// Set the fault-recovery policy.
@@ -868,7 +880,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             "buffer.size",
             self.instances.iter().map(|i| i.buffer.len()).sum::<usize>() as f64,
         );
-        sink.gauge("rollout.workers", self.options.num_workers.max(1) as f64);
+        sink.gauge("rollout.workers", self.options.effective_workers() as f64);
 
         // Reward memo-cache: per-epoch deltas + the absolute entry count.
         let (hits, misses) = (self.cache.hits(), self.cache.misses());
@@ -955,7 +967,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
             let cache = self.cache.graph(gi);
             // Worker panics are caught per sample, so one poisoned rollout
             // degrades to one `Err` slot instead of killing the epoch.
-            rollout::run_ordered_catching(opts.num_workers, seeds.len(), |i| {
+            rollout::run_ordered_catching(opts.effective_workers(), seeds.len(), |i| {
                 let t0 = timed.then(Instant::now);
                 let inject_key = spg_sim::inject::rollout_key(epoch, gi, i);
                 let injected = spg_sim::inject::at(spg_sim::inject::Site::Rollout, inject_key);
@@ -1215,7 +1227,7 @@ impl<P: CoarsePlacer + Sync> ReinforceTrainer<P> {
         if graphs.is_empty() {
             return 0.0;
         }
-        let workers = self.options.num_workers;
+        let workers = self.options.effective_workers();
         // Borrow the shareable fields individually: capturing `self`
         // would drag the `Rc`-backed model into the worker closures.
         let (policy, placer, cluster) = (&self.policy, &self.placer, &self.cluster);
@@ -1304,6 +1316,21 @@ mod tests {
 
     fn trainer(n_graphs: usize, metis_guided: bool) -> ReinforceTrainer<MetisCoarsePlacer> {
         trainer_with(n_graphs, metis_guided, 1)
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_available_parallelism() {
+        let avail = rollout::default_workers();
+        assert_eq!(TrainOptions::new().num_workers(0).effective_workers(), 1);
+        assert_eq!(TrainOptions::new().num_workers(1).effective_workers(), 1);
+        assert_eq!(
+            TrainOptions::new()
+                .num_workers(usize::MAX)
+                .effective_workers(),
+            avail,
+            "oversubscription must clamp to the core count"
+        );
+        assert!(TrainOptions::new().effective_workers() <= avail);
     }
 
     #[test]

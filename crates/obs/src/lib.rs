@@ -573,6 +573,19 @@ impl TelemetrySink {
     }
 }
 
+/// Nearest-rank percentile of an unsorted sample (`p` in `0.0..=100.0`).
+/// Returns NaN for an empty sample. Used by benchmark reports (latency
+/// p50/p99) so every consumer ranks the same way.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 struct SpanGuardInner {
     sink: Arc<SinkInner>,
     name: &'static str,
@@ -602,6 +615,19 @@ impl Drop for SpanGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 50.0);
+        assert_eq!(percentile(&s, 99.0), 99.0);
+        assert_eq!(percentile(&s, 100.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert!(percentile(&[], 50.0).is_nan());
+        // Order-independent.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
 
     #[test]
     fn disabled_sink_is_inert() {

@@ -1,0 +1,247 @@
+//! Open-loop, seeded load generator for the allocation server.
+//!
+//! Requests are scheduled on a fixed clock (`rate` req/s across all
+//! connections) *before* any response arrives, so a slow server cannot
+//! throttle the offered load — latency is measured from the scheduled
+//! send time, the honest open-loop definition that includes coordinated
+//! omission. Graphs come from the seeded generator; the request stream
+//! cycles through `graphs` distinct graphs, so every graph after the
+//! first round exercises the server's warm-cache path. The report also
+//! cross-checks determinism: every response for the same graph must
+//! carry the bitwise-identical placement.
+
+use spg_gen::{DatasetSpec, Setting};
+use spg_graph::wire::{shutdown_line, AllocRequest, WireResponse};
+use spg_graph::StreamGraph;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load-generator tuning.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Distinct seeded graphs cycled through the request stream.
+    pub graphs: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Offered load in requests/second (open loop).
+    pub rate: f64,
+    /// Send a shutdown command after the run.
+    pub shutdown: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            connections: 4,
+            requests: 64,
+            graphs: 8,
+            seed: 0,
+            rate: 200.0,
+            shutdown: false,
+        }
+    }
+}
+
+/// What the load generator measured.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchReport {
+    /// Requests sent.
+    pub requests: usize,
+    /// Successful allocation responses.
+    pub ok: usize,
+    /// Error responses (plus unparseable/missing responses).
+    pub errors: usize,
+    /// Responses flagged as served from the cache.
+    pub cached: usize,
+    /// Wall-clock from first scheduled send to last response (s).
+    pub elapsed_s: f64,
+    /// `ok / elapsed_s`.
+    pub sustained_rps: f64,
+    /// Median open-loop latency (ms).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile open-loop latency (ms).
+    pub latency_p99_ms: f64,
+    /// True iff every same-graph response carried a bitwise-identical
+    /// placement.
+    pub consistent: bool,
+}
+
+impl BenchReport {
+    /// Pretty-printed JSON, the `BENCH_serve.json` format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+struct Sample {
+    graph_index: usize,
+    latency_ms: f64,
+    response: WireResponse,
+}
+
+/// Run the load generator against a listening server.
+pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let graphs: Vec<StreamGraph> = (0..cfg.graphs.max(1) as u64)
+        .map(|g| spg_gen::generate_graph(&spec, cfg.seed.wrapping_add(g)))
+        .collect();
+
+    let connections = cfg.connections.max(1);
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate.max(1e-6));
+    let start = Instant::now() + Duration::from_millis(20);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(cfg.requests));
+
+    let mut elapsed_s = 0.0;
+    crossbeam::thread::scope(|s| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in 0..connections {
+            // Request i goes to connection i % connections at t = i·interval.
+            let schedule: Vec<(usize, Instant)> = (0..cfg.requests)
+                .filter(|i| i % connections == conn)
+                .map(|i| (i, start + interval.mul_prec(i)))
+                .collect();
+            let (graphs, samples) = (&graphs, &samples);
+            handles.push(s.spawn(move |_| -> std::io::Result<()> {
+                run_connection(&cfg.addr, conn, &schedule, graphs, samples)
+            }));
+        }
+        for h in handles {
+            h.join().expect("bench connection panicked")?;
+        }
+        elapsed_s = (Instant::now().saturating_duration_since(start)).as_secs_f64();
+        Ok(())
+    })
+    .expect("bench thread panicked")?;
+
+    if cfg.shutdown {
+        let mut ctl = TcpStream::connect(&cfg.addr)?;
+        ctl.write_all(shutdown_line().as_bytes())?;
+        ctl.write_all(b"\n")?;
+        ctl.flush()?;
+    }
+
+    let samples = samples.into_inner().expect("sample lock poisoned");
+    let mut ok = 0;
+    let mut errors = cfg.requests.saturating_sub(samples.len());
+    let mut cached = 0;
+    let mut latencies: Vec<f64> = Vec::with_capacity(samples.len());
+    let mut canonical: HashMap<usize, Vec<u32>> = HashMap::new();
+    let mut consistent = true;
+    for s in &samples {
+        latencies.push(s.latency_ms);
+        match &s.response {
+            WireResponse::Ok(r) => {
+                ok += 1;
+                if r.cached {
+                    cached += 1;
+                }
+                match canonical.get(&s.graph_index) {
+                    Some(first) => consistent &= *first == r.placement,
+                    None => {
+                        canonical.insert(s.graph_index, r.placement.clone());
+                    }
+                }
+            }
+            WireResponse::Err(_) => errors += 1,
+        }
+    }
+    Ok(BenchReport {
+        requests: cfg.requests,
+        ok,
+        errors,
+        cached,
+        elapsed_s,
+        sustained_rps: if elapsed_s > 0.0 {
+            ok as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        latency_p50_ms: spg_obs::percentile(&latencies, 50.0),
+        latency_p99_ms: spg_obs::percentile(&latencies, 99.0),
+        consistent,
+    })
+}
+
+/// One client connection: a writer on this thread pacing the open-loop
+/// schedule, plus an inline read phase collecting the pipelined
+/// responses afterwards (requests and responses both carry ids, so
+/// ordering is irrelevant).
+fn run_connection(
+    addr: &str,
+    conn: usize,
+    schedule: &[(usize, Instant)],
+    graphs: &[StreamGraph],
+    samples: &Mutex<Vec<Sample>>,
+) -> std::io::Result<()> {
+    if schedule.is_empty() {
+        return Ok(());
+    }
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut out = stream.try_clone()?;
+    let mut sent: HashMap<String, (usize, Instant)> = HashMap::with_capacity(schedule.len());
+    for &(i, at) in schedule {
+        let now = Instant::now();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        let gi = i % graphs.len();
+        let req = AllocRequest {
+            id: format!("c{conn}-r{i}"),
+            graph: graphs[gi].clone(),
+            source_rate: None,
+            devices: None,
+        };
+        out.write_all(req.to_line().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        sent.insert(req.id, (gi, at));
+    }
+    out.shutdown(std::net::Shutdown::Write)?;
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while !sent.is_empty() {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let Ok(resp) = WireResponse::parse(line.trim()) else {
+                    continue;
+                };
+                let Some((gi, at)) = resp.id().and_then(|id| sent.remove(id)) else {
+                    continue;
+                };
+                samples.lock().expect("sample lock poisoned").push(Sample {
+                    graph_index: gi,
+                    latency_ms: at.elapsed().as_secs_f64() * 1e3,
+                    response: resp,
+                });
+            }
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// `Duration * usize` without floating-point drift across thousands of
+/// requests.
+trait MulPrec {
+    fn mul_prec(&self, n: usize) -> Duration;
+}
+
+impl MulPrec for Duration {
+    fn mul_prec(&self, n: usize) -> Duration {
+        Duration::from_nanos((self.as_nanos() as u64).saturating_mul(n as u64))
+    }
+}

@@ -1,0 +1,32 @@
+//! Long-running allocation service over the trained coarsening model.
+//!
+//! The server loads a checkpoint once, listens on TCP, and speaks a
+//! line-delimited JSON protocol (`spg_graph::wire`). Concurrent
+//! requests are funneled through a bounded queue into a single batcher
+//! thread that:
+//!
+//! 1. coalesces up to `max_batch` pending requests,
+//! 2. answers repeats from a bounded LRU keyed by a content
+//!    fingerprint ([`lru::request_fingerprint`]),
+//! 3. runs **one** encoder forward pass over the batch
+//!    (`CoarsenModel::predict_probs_batch`), and
+//! 4. fans decode → placement → simulation over the deterministic
+//!    worker pool (`spg_core::rollout`).
+//!
+//! Every stage is measured through the PR 2 telemetry sink, overload is
+//! surfaced as a named `overloaded` wire error instead of an unbounded
+//! queue, and a `shutdown` command drains in-flight work before the
+//! server returns. Because greedy decoding and the content-seeded
+//! placer are pure functions of the request, identical requests always
+//! receive bitwise-identical placements — cached or not.
+//!
+//! [`bench`] is the matching open-loop load generator behind
+//! `spg bench-serve`.
+
+pub mod bench;
+pub mod lru;
+pub mod server;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use lru::{request_fingerprint, LruCache};
+pub use server::{ServeConfig, ServeReport, Server};

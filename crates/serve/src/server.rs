@@ -1,0 +1,517 @@
+//! The allocation server: JSONL over TCP, batched inference, LRU cache,
+//! bounded queues, graceful drain.
+//!
+//! ## Threading
+//!
+//! The model holds `Rc`-shared parameters and is not `Send`, so it never
+//! leaves the thread that calls [`Server::run`] — that thread *is* the
+//! batcher. Around it:
+//!
+//! * an **acceptor** thread polls the (non-blocking) listener and spawns
+//!   a reader/writer pair per connection;
+//! * each **reader** parses request lines, answers protocol errors
+//!   inline, and pushes valid work into one bounded `sync_channel` — a
+//!   full queue bounces the request with an `overloaded` error
+//!   (backpressure) instead of buffering without limit;
+//! * each **writer** drains an unbounded per-connection string channel,
+//!   so slow batches never block a reader;
+//! * the **batcher** collects up to [`ServeConfig::max_batch`] queued
+//!   requests, drops the ones whose deadline passed (`timeout` error),
+//!   answers repeats from the LRU, runs ONE encoder forward pass over
+//!   the union of the remaining graphs
+//!   ([`CoarsenModel::predict_probs_batch`]), and fans
+//!   decode → place → simulate over the deterministic rollout pool.
+//!
+//! Every stage is pure per request, so identical requests produce
+//! bitwise-identical placements whether they hit the cache, share a
+//! batch, or arrive years apart.
+//!
+//! ## Shutdown
+//!
+//! A `{"cmd":"shutdown"}` line sets the drain flag: the acceptor stops
+//! accepting, readers answer new allocation requests with `draining`,
+//! and the batcher exits once the queue stays empty — in-flight requests
+//! are answered, never dropped. [`Server::run`] then joins every thread
+//! and returns a [`ServeReport`].
+
+use crate::lru::{request_fingerprint, LruCache};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_core::checkpoint::Checkpoint;
+use spg_core::policy::{CoarseningPolicy, DecodeMode};
+use spg_core::{rollout, CoarsePlacer, CoarsenModel, MetisCoarsePlacer};
+use spg_graph::wire::{parse_request, AllocRequest, AllocResponse, WireError, WireRequest};
+use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
+use spg_obs::TelemetrySink;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+/// Tuning of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Maximum requests folded into one encoder forward pass.
+    pub max_batch: usize,
+    /// Bound of the request queue; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Per-request deadline covering queue wait (ms); exceeded requests
+    /// are answered with a `timeout` error instead of stale work.
+    pub request_timeout_ms: u64,
+    /// LRU capacity in placements (0 disables caching).
+    pub cache_capacity: usize,
+    /// Rollout worker threads (clamped to available parallelism).
+    pub workers: usize,
+    /// Metis placer seed (placements stay content-deterministic for any
+    /// fixed value).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 8,
+            queue_capacity: 64,
+            request_timeout_ms: 5_000,
+            cache_capacity: 256,
+            workers: rollout::default_workers(),
+            seed: 7,
+        }
+    }
+}
+
+/// What a finished [`Server::run`] did.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Allocation requests answered successfully.
+    pub responses: u64,
+    /// Requests answered with a named error.
+    pub errors: u64,
+    /// Encoder batches executed.
+    pub batches: u64,
+    /// Responses served from the LRU.
+    pub cache_hits: u64,
+    /// Responses that required fresh inference.
+    pub cache_misses: u64,
+}
+
+/// One unit of queued work: a validated request plus where to answer.
+struct Job {
+    id: String,
+    graph: StreamGraph,
+    devices: usize,
+    source_rate: f64,
+    fingerprint: u64,
+    enqueued: Instant,
+    respond: mpsc::Sender<String>,
+}
+
+/// A bound listener, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Bind the listener (so the caller can learn the OS-assigned port
+    /// before the blocking run starts).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener, cfg })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a shutdown request drains the queue. Blocks the
+    /// calling thread (which owns the model and runs the batcher).
+    ///
+    /// `cluster` and `source_rate` are the defaults a request inherits
+    /// when it omits its `devices` / `source_rate` overrides.
+    pub fn run(
+        self,
+        checkpoint: Checkpoint,
+        cluster: ClusterSpec,
+        source_rate: f64,
+        sink: &TelemetrySink,
+    ) -> std::io::Result<ServeReport> {
+        let Server { listener, cfg } = self;
+        let model = checkpoint.into_model();
+        let draining = AtomicBool::new(false);
+        let protocol_errors = AtomicU64::new(0);
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+
+        let report = crossbeam::thread::scope(|s| {
+            let acceptor = {
+                let tx = tx.clone();
+                let (listener, cfg, draining, protocol_errors, sink) =
+                    (&listener, &cfg, &draining, &protocol_errors, sink);
+                s.spawn(move |conn_scope| {
+                    accept_loop(
+                        conn_scope,
+                        listener,
+                        tx,
+                        cfg,
+                        draining,
+                        protocol_errors,
+                        sink,
+                        cluster,
+                        source_rate,
+                    )
+                })
+            };
+            drop(tx); // batcher exit must only wait on live connections
+            let mut report = batch_loop(rx, &model, &cfg, cluster, &draining, sink);
+            report.errors += protocol_errors.load(Ordering::Relaxed);
+            acceptor.join().expect("acceptor panicked");
+            report
+        })
+        .expect("serve thread panicked");
+        sink.flush();
+        Ok(report)
+    }
+}
+
+/// Poll-accept connections until the drain flag is set. Non-blocking
+/// accept + a short sleep keeps shutdown latency bounded without any
+/// wake-pipe machinery.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop<'scope, 'env>(
+    s: &crossbeam::thread::Scope<'scope, 'env>,
+    listener: &'env TcpListener,
+    tx: SyncSender<Job>,
+    cfg: &'env ServeConfig,
+    draining: &'env AtomicBool,
+    protocol_errors: &'env AtomicU64,
+    sink: &'env TelemetrySink,
+    cluster: ClusterSpec,
+    source_rate: f64,
+) {
+    while !draining.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                sink.counter("serve.connections", 1);
+                let tx = tx.clone();
+                s.spawn(move |ws| {
+                    connection_loop(
+                        ws,
+                        stream,
+                        tx,
+                        cfg,
+                        draining,
+                        protocol_errors,
+                        cluster,
+                        source_rate,
+                    )
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Read request lines off one connection until EOF or drain.
+///
+/// Line assembly is manual (`read` + split on `\n`) because a read
+/// timeout must not lose a partially received line; the timeout tick is
+/// just the drain-flag poll.
+#[allow(clippy::too_many_arguments)]
+fn connection_loop<'scope, 'env>(
+    s: &crossbeam::thread::Scope<'scope, 'env>,
+    mut stream: TcpStream,
+    tx: SyncSender<Job>,
+    cfg: &'env ServeConfig,
+    draining: &'env AtomicBool,
+    protocol_errors: &'env AtomicU64,
+    cluster: ClusterSpec,
+    source_rate: f64,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let (wtx, wrx) = mpsc::channel::<String>();
+    if let Ok(out) = stream.try_clone() {
+        s.spawn(move |_| writer_loop(out, wrx));
+    } else {
+        return;
+    }
+
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                acc.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = acc.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    handle_line(
+                        line,
+                        &tx,
+                        &wtx,
+                        cfg,
+                        draining,
+                        protocol_errors,
+                        cluster,
+                        source_rate,
+                    );
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if draining.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parse one request line and route it: protocol errors are answered
+/// inline, shutdown flips the drain flag, allocations enter the bounded
+/// queue (or bounce with `overloaded` / `draining`).
+#[allow(clippy::too_many_arguments)]
+fn handle_line(
+    line: &str,
+    tx: &SyncSender<Job>,
+    wtx: &mpsc::Sender<String>,
+    cfg: &ServeConfig,
+    draining: &AtomicBool,
+    protocol_errors: &AtomicU64,
+    cluster: ClusterSpec,
+    source_rate: f64,
+) {
+    let refuse = |err: WireError, id: Option<String>| {
+        protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let _ = wtx.send(err.response(id).to_line());
+    };
+    let req: AllocRequest = match parse_request(line) {
+        Ok(WireRequest::Alloc(req)) => req,
+        Ok(WireRequest::Shutdown) => {
+            draining.store(true, Ordering::Relaxed);
+            return;
+        }
+        Err(e) => return refuse(e, None),
+    };
+    if draining.load(Ordering::Relaxed) {
+        return refuse(WireError::Draining, Some(req.id));
+    }
+    let devices = req.devices.unwrap_or(cluster.devices);
+    let rate = req.source_rate.unwrap_or(source_rate);
+    let job = Job {
+        fingerprint: request_fingerprint(&req.graph, devices, rate),
+        id: req.id,
+        graph: req.graph,
+        devices,
+        source_rate: rate,
+        enqueued: Instant::now(),
+        respond: wtx.clone(),
+    };
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(job)) => refuse(
+            WireError::Overloaded(format!(
+                "request queue full ({} pending)",
+                cfg.queue_capacity
+            )),
+            Some(job.id),
+        ),
+        Err(TrySendError::Disconnected(job)) => refuse(WireError::Draining, Some(job.id)),
+    }
+}
+
+/// Forward response lines to the socket; exits when every sender (the
+/// connection's reader plus any in-flight jobs) is gone.
+fn writer_loop(mut out: TcpStream, wrx: mpsc::Receiver<String>) {
+    for line in wrx {
+        if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = out.flush();
+    }
+    let _ = out.shutdown(std::net::Shutdown::Write);
+}
+
+/// The batcher: owns the model, the cache and the telemetry spans.
+fn batch_loop(
+    rx: mpsc::Receiver<Job>,
+    model: &CoarsenModel,
+    cfg: &ServeConfig,
+    base_cluster: ClusterSpec,
+    draining: &AtomicBool,
+    sink: &TelemetrySink,
+) -> ServeReport {
+    let policy = CoarseningPolicy::from_config(&model.config);
+    let placer = MetisCoarsePlacer::new(cfg.seed);
+    let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
+    let mut report = ServeReport::default();
+    let timeout = Duration::from_millis(cfg.request_timeout_ms);
+    let workers = cfg.workers.clamp(1, rollout::default_workers());
+
+    'serve: loop {
+        let first = match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if draining.load(Ordering::Relaxed) {
+                    // Readers refuse new work once the flag is set; one
+                    // more empty tick means the queue stays drained.
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(job) => job,
+                        Err(_) => break 'serve,
+                    }
+                } else {
+                    continue;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break 'serve,
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < cfg.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+
+        let _batch_span = sink.span("serve.batch");
+        sink.hist("serve.batch_size", jobs.len() as f64);
+        report.batches += 1;
+
+        // Deadline + queue-wait accounting, then the cache pass.
+        let now = Instant::now();
+        let mut todo: Vec<Job> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let waited = now.duration_since(job.enqueued);
+            sink.hist("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
+            if waited > timeout {
+                report.errors += 1;
+                let err = WireError::Timeout(format!(
+                    "queued {} ms, deadline {} ms",
+                    waited.as_millis(),
+                    cfg.request_timeout_ms
+                ));
+                let _ = job.respond.send(err.response(Some(job.id)).to_line());
+                continue;
+            }
+            if let Some((placement, relative)) = cache.get(job.fingerprint) {
+                report.responses += 1;
+                let resp = AllocResponse {
+                    id: job.id,
+                    placement: placement.clone(),
+                    relative_throughput: *relative,
+                    cached: true,
+                };
+                let _ = job.respond.send(resp.to_line());
+                continue;
+            }
+            todo.push(job);
+        }
+        if todo.is_empty() {
+            continue;
+        }
+
+        // Identical requests sharing a batch share one computation.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(todo.len());
+        for (i, job) in todo.iter().enumerate() {
+            match unique
+                .iter()
+                .position(|&u| todo[u].fingerprint == job.fingerprint)
+            {
+                Some(slot) => slot_of.push(slot),
+                None => {
+                    unique.push(i);
+                    slot_of.push(unique.len() - 1);
+                }
+            }
+        }
+
+        // ONE forward pass over the disjoint union of the unique graphs.
+        let (prepared, probs) = {
+            let _span = sink.span("serve.encode");
+            let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
+                .iter()
+                .map(|&i| {
+                    let job = &todo[i];
+                    // A `devices` override keeps the server cluster's
+                    // per-device MIPS and link bandwidth.
+                    let cluster = ClusterSpec {
+                        devices: job.devices,
+                        ..base_cluster
+                    };
+                    let rates = TupleRates::compute(&job.graph, job.source_rate);
+                    let feats = GraphFeatures::extract_with_rates(&job.graph, &cluster, &rates);
+                    (rates, feats, cluster)
+                })
+                .collect();
+            let probs = {
+                let items: Vec<(&StreamGraph, &GraphFeatures)> = unique
+                    .iter()
+                    .zip(&prepared)
+                    .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
+                    .collect();
+                model.predict_probs_batch(&items)
+            };
+            (prepared, probs)
+        };
+
+        // Fan decode → place → simulate over the deterministic pool.
+        let results: Vec<(Vec<u32>, f64)> = {
+            let _span = sink.span("serve.rollout");
+            let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
+            let (prepared, probs) = (&prepared, &probs);
+            rollout::run_ordered(workers, unique.len(), move |u| {
+                let job = &todo[unique[u]];
+                let (rates, _, cluster) = &prepared[u];
+                // Greedy decoding ignores the RNG; seed from content so
+                // even a non-greedy mode would stay request-deterministic.
+                let mut rng = ChaCha8Rng::seed_from_u64(job.fingerprint);
+                let decisions = policy.decode(&probs[u], DecodeMode::Greedy, &mut rng);
+                let coarsening = policy.apply(&job.graph, rates, cluster, &decisions, &probs[u]);
+                let coarse = placer.place_coarse(&coarsening.coarse, cluster);
+                let placement = Placement::lift(&coarse, &coarsening.node_map);
+                let relative = spg_sim::reward::relative_throughput_with_rates(
+                    &job.graph, cluster, &placement, rates,
+                );
+                (placement.as_slice().to_vec(), relative)
+            })
+        };
+
+        for (job, &slot) in todo.iter().zip(&slot_of) {
+            let (placement, relative) = &results[slot];
+            report.responses += 1;
+            let resp = AllocResponse {
+                id: job.id.clone(),
+                placement: placement.clone(),
+                relative_throughput: *relative,
+                cached: false,
+            };
+            let _ = job.respond.send(resp.to_line());
+            cache.insert(job.fingerprint, (placement.clone(), *relative));
+        }
+    }
+
+    report.cache_hits = cache.hits();
+    report.cache_misses = cache.misses();
+    sink.counter("serve.responses", report.responses);
+    sink.counter("serve.errors", report.errors);
+    report
+}

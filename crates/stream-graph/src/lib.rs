@@ -32,6 +32,7 @@ pub mod topo;
 pub mod unionfind;
 pub mod view;
 pub mod weighted;
+pub mod wire;
 
 pub use cluster::ClusterSpec;
 pub use coarsen::{CoarseGraph, Coarsening};

@@ -122,6 +122,100 @@ impl std::error::Error for DatasetError {
     }
 }
 
+/// Why a single graph failed validation. Shared by [`Dataset`] loading
+/// and the serving wire format ([`crate::wire`]) — anything that accepts
+/// a graph from outside the process funnels it through
+/// [`validate_graph`].
+#[derive(Debug)]
+pub enum GraphValidationError {
+    /// Structural rejection from [`StreamGraph::from_parts`] (dangling
+    /// endpoints, duplicate edges, self-loops, cycles, empty graph).
+    Structure(GraphError),
+    /// An operator carries an invalid numeric field.
+    Operator {
+        /// Node index of the operator.
+        node: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A channel carries an invalid numeric field, or the channel list
+    /// does not line up with the edge list.
+    Channel {
+        /// Edge index of the channel (edge count for a length mismatch).
+        edge: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphValidationError::Structure(e) => write!(f, "invalid graph structure: {e}"),
+            GraphValidationError::Operator { node, detail } => {
+                write!(f, "operator {node} is invalid: {detail}")
+            }
+            GraphValidationError::Channel { edge, detail } => {
+                write!(f, "channel {edge} is invalid: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphValidationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphValidationError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Validate one externally-supplied graph: numeric fields must be finite
+/// with the right sign, and the derived structure (adjacency,
+/// topological order) is rebuilt from the raw parts through the
+/// validating constructor — never trusted from the input.
+pub fn validate_graph(graph: &StreamGraph) -> Result<StreamGraph, GraphValidationError> {
+    for (ni, op) in graph.ops().iter().enumerate() {
+        if !(op.ipt.is_finite() && op.ipt >= 0.0) {
+            return Err(GraphValidationError::Operator {
+                node: ni,
+                detail: format!("instructions per tuple {}", op.ipt),
+            });
+        }
+    }
+    if graph.channels().len() != graph.edge_list().len() {
+        return Err(GraphValidationError::Channel {
+            edge: graph.edge_list().len(),
+            detail: format!(
+                "{} channels for {} edges",
+                graph.channels().len(),
+                graph.edge_list().len()
+            ),
+        });
+    }
+    for (ei, ch) in graph.channels().iter().enumerate() {
+        if !(ch.payload.is_finite() && ch.payload >= 0.0) {
+            return Err(GraphValidationError::Channel {
+                edge: ei,
+                detail: format!("payload {} bytes/tuple", ch.payload),
+            });
+        }
+        if !(ch.selectivity.is_finite() && ch.selectivity >= 0.0) {
+            return Err(GraphValidationError::Channel {
+                edge: ei,
+                detail: format!("selectivity {}", ch.selectivity),
+            });
+        }
+    }
+    StreamGraph::from_parts(
+        graph.ops().to_vec(),
+        graph.edge_list().to_vec(),
+        graph.channels().to_vec(),
+    )
+    .map_err(GraphValidationError::Structure)
+}
+
 /// A persisted dataset: graphs plus the environment they were generated for.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
@@ -194,53 +288,24 @@ impl Dataset {
             });
         }
         for (gi, graph) in self.graphs.iter_mut().enumerate() {
-            for (ni, op) in graph.ops().iter().enumerate() {
-                if !(op.ipt.is_finite() && op.ipt >= 0.0) {
-                    return Err(DatasetError::InvalidOperator {
-                        graph: gi,
-                        node: ni,
-                        detail: format!("instructions per tuple {}", op.ipt),
-                    });
+            // Numeric checks plus a rebuild through the validating
+            // constructor: catches dangling endpoints / duplicates /
+            // self-loops / cycles and replaces whatever adjacency the
+            // file claimed with the recomputed one.
+            *graph = validate_graph(graph).map_err(|e| match e {
+                GraphValidationError::Structure(source) => {
+                    DatasetError::Graph { index: gi, source }
                 }
-            }
-            if graph.channels().len() != graph.edge_list().len() {
-                return Err(DatasetError::InvalidChannel {
+                GraphValidationError::Operator { node, detail } => DatasetError::InvalidOperator {
                     graph: gi,
-                    edge: graph.edge_list().len(),
-                    detail: format!(
-                        "{} channels for {} edges",
-                        graph.channels().len(),
-                        graph.edge_list().len()
-                    ),
-                });
-            }
-            for (ei, ch) in graph.channels().iter().enumerate() {
-                if !(ch.payload.is_finite() && ch.payload >= 0.0) {
-                    return Err(DatasetError::InvalidChannel {
-                        graph: gi,
-                        edge: ei,
-                        detail: format!("payload {} bytes/tuple", ch.payload),
-                    });
-                }
-                if !(ch.selectivity.is_finite() && ch.selectivity >= 0.0) {
-                    return Err(DatasetError::InvalidChannel {
-                        graph: gi,
-                        edge: ei,
-                        detail: format!("selectivity {}", ch.selectivity),
-                    });
-                }
-            }
-            // Rebuild through the validating constructor: catches dangling
-            // endpoints / duplicates / self-loops / cycles and replaces
-            // whatever adjacency the file claimed with the recomputed one.
-            *graph = StreamGraph::from_parts(
-                graph.ops().to_vec(),
-                graph.edge_list().to_vec(),
-                graph.channels().to_vec(),
-            )
-            .map_err(|e| DatasetError::Graph {
-                index: gi,
-                source: e,
+                    node,
+                    detail,
+                },
+                GraphValidationError::Channel { edge, detail } => DatasetError::InvalidChannel {
+                    graph: gi,
+                    edge,
+                    detail,
+                },
             })?;
         }
         Ok(self)

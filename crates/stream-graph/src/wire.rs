@@ -1,0 +1,458 @@
+//! JSONL wire format of the allocation service (`spg serve`).
+//!
+//! The protocol is line-oriented JSON over TCP: one request per line,
+//! one response per line, responses carry the request's `id` so clients
+//! may pipeline. A request's graph is sent as raw parts only (`ops`,
+//! `edges`, `channels`) — derived structure is never trusted from the
+//! wire; [`parse_request`] rebuilds and validates it through
+//! [`crate::serialize::validate_graph`], the same funnel dataset files
+//! go through.
+//!
+//! ```text
+//! → {"id":"r1","graph":{"ops":[{"ipt":100}, ...],"edges":[[0,1], ...],
+//!    "channels":[{"payload":8,"selectivity":1}, ...]},
+//!    "source_rate":10000,"devices":8}
+//! ← {"id":"r1","placement":[0,2,1, ...],"relative_throughput":0.87,
+//!    "cached":false}
+//! → {"cmd":"shutdown"}
+//! ```
+//!
+//! `source_rate` and `devices` are optional; a request that omits them
+//! inherits the server's configured defaults. Every failure is a named
+//! [`WireError`] rendered as an [`ErrorResponse`] line — a malformed
+//! request never drops the connection.
+
+use crate::graph::{Channel, Operator, StreamGraph};
+use crate::serialize::validate_graph;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Named protocol error. The variant's [`WireError::code`] is what goes
+/// over the wire in [`ErrorResponse::error`]; the payload is the
+/// human-readable detail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The line is not valid JSON, or parsed but is not a valid request.
+    BadRequest(String),
+    /// The request parsed but its graph failed structural or numeric
+    /// validation.
+    InvalidGraph(String),
+    /// The request waited longer than the server's per-request deadline.
+    Timeout(String),
+    /// The server's bounded request queue is full (backpressure).
+    Overloaded(String),
+    /// The server is draining after a shutdown request; no new work is
+    /// accepted.
+    Draining,
+    /// Unexpected server-side failure (e.g. a caught worker panic).
+    Internal(String),
+}
+
+impl WireError {
+    /// Stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::BadRequest(_) => "bad-request",
+            WireError::InvalidGraph(_) => "invalid-graph",
+            WireError::Timeout(_) => "timeout",
+            WireError::Overloaded(_) => "overloaded",
+            WireError::Draining => "draining",
+            WireError::Internal(_) => "internal",
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn detail(&self) -> String {
+        match self {
+            WireError::BadRequest(d)
+            | WireError::InvalidGraph(d)
+            | WireError::Timeout(d)
+            | WireError::Overloaded(d)
+            | WireError::Internal(d) => d.clone(),
+            WireError::Draining => "server is draining; not accepting new requests".to_string(),
+        }
+    }
+
+    /// Render as the error-response line for request `id` (if known).
+    pub fn response(&self, id: Option<String>) -> ErrorResponse {
+        ErrorResponse {
+            id,
+            error: self.code().to_string(),
+            detail: self.detail(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.detail())
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed request line.
+// The enum is destructured immediately after parsing, so the size gap
+// between its variants never lives on a hot path or in a collection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// Allocate one graph.
+    Alloc(AllocRequest),
+    /// Stop accepting work, drain in-flight requests, exit.
+    Shutdown,
+}
+
+/// An allocation request with its graph already validated.
+#[derive(Debug, Clone)]
+pub struct AllocRequest {
+    /// Client-chosen request id, echoed back in the response.
+    pub id: String,
+    /// The validated stream graph to place.
+    pub graph: StreamGraph,
+    /// Source tuple rate override (tuples/s); `None` inherits the
+    /// server's configured rate.
+    pub source_rate: Option<f64>,
+    /// Device-count override; `None` inherits the server's cluster.
+    pub devices: Option<usize>,
+}
+
+impl AllocRequest {
+    /// Render as one JSONL request line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire value renders")
+    }
+}
+
+impl Serialize for AllocRequest {
+    fn serialize(&self) -> Value {
+        let graph = Value::Object(vec![
+            ("ops".to_string(), self.graph.ops().serialize()),
+            ("edges".to_string(), self.graph.edge_list().serialize()),
+            ("channels".to_string(), self.graph.channels().serialize()),
+        ]);
+        let mut fields = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("graph".to_string(), graph),
+        ];
+        if let Some(sr) = self.source_rate {
+            fields.push(("source_rate".to_string(), sr.serialize()));
+        }
+        if let Some(d) = self.devices {
+            fields.push(("devices".to_string(), d.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// The shutdown command line (no trailing newline).
+pub fn shutdown_line() -> &'static str {
+    r#"{"cmd":"shutdown"}"#
+}
+
+/// Raw request shape straight off the wire: graph parts, nothing
+/// validated yet. The vendored serde derive has no optional-field
+/// support, so this deserializer is hand-rolled over [`Value`].
+struct RawRequest {
+    id: String,
+    ops: Vec<Operator>,
+    edges: Vec<(u32, u32)>,
+    channels: Vec<Channel>,
+    source_rate: Option<f64>,
+    devices: Option<usize>,
+}
+
+enum RawLine {
+    Alloc(RawRequest),
+    Shutdown,
+}
+
+fn opt_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, serde::Error> {
+    match v.field(name) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(x) => T::deserialize(x).map(Some),
+    }
+}
+
+impl Deserialize for RawLine {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        if let Ok(cmd) = v.field("cmd") {
+            let cmd = String::deserialize(cmd)?;
+            return match cmd.as_str() {
+                "shutdown" => Ok(RawLine::Shutdown),
+                other => Err(serde::Error(format!("unknown cmd `{other}`"))),
+            };
+        }
+        let graph = v.field("graph")?;
+        Ok(RawLine::Alloc(RawRequest {
+            id: String::deserialize(v.field("id")?)?,
+            ops: Vec::<Operator>::deserialize(graph.field("ops")?)?,
+            edges: Vec::<(u32, u32)>::deserialize(graph.field("edges")?)?,
+            channels: Vec::<Channel>::deserialize(graph.field("channels")?)?,
+            source_rate: opt_field(v, "source_rate")?,
+            devices: opt_field(v, "devices")?,
+        }))
+    }
+}
+
+/// Parse and validate one request line.
+///
+/// Malformed JSON or a bad request shape is [`WireError::BadRequest`];
+/// a graph that fails structural or numeric validation is
+/// [`WireError::InvalidGraph`]. Never panics on untrusted input.
+pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
+    let raw: RawLine =
+        serde_json::from_str(line).map_err(|e| WireError::BadRequest(e.to_string()))?;
+    let raw = match raw {
+        RawLine::Shutdown => return Ok(WireRequest::Shutdown),
+        RawLine::Alloc(r) => r,
+    };
+    if let Some(sr) = raw.source_rate {
+        if !(sr.is_finite() && sr > 0.0) {
+            return Err(WireError::BadRequest(format!(
+                "source_rate must be finite positive, got {sr}"
+            )));
+        }
+    }
+    if raw.devices == Some(0) {
+        return Err(WireError::BadRequest(
+            "devices must be at least 1".to_string(),
+        ));
+    }
+    // Structural validation happens in the constructor; the follow-up
+    // `validate_graph` adds the numeric checks shared with dataset
+    // loading (and is cheap next to an inference pass).
+    let graph = StreamGraph::from_parts(raw.ops, raw.edges, raw.channels)
+        .map_err(|e| WireError::InvalidGraph(e.to_string()))?;
+    let graph = validate_graph(&graph).map_err(|e| WireError::InvalidGraph(e.to_string()))?;
+    Ok(WireRequest::Alloc(AllocRequest {
+        id: raw.id,
+        graph,
+        source_rate: raw.source_rate,
+        devices: raw.devices,
+    }))
+}
+
+/// Successful allocation response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Device index per operator, in node order.
+    pub placement: Vec<u32>,
+    /// Analytic relative throughput of the placement (`α`).
+    pub relative_throughput: f64,
+    /// True if the placement came from the server's LRU cache.
+    pub cached: bool,
+}
+
+impl AllocResponse {
+    /// Render as one JSONL response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire value renders")
+    }
+}
+
+/// Error response; `id` is `null` when the request was too malformed to
+/// carry one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Echo of the request id, if it could be parsed.
+    pub id: Option<String>,
+    /// Machine-readable code ([`WireError::code`]).
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorResponse {
+    /// Render as one JSONL response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire value renders")
+    }
+}
+
+/// A parsed response line: success or named error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// Successful allocation.
+    Ok(AllocResponse),
+    /// Named protocol error.
+    Err(ErrorResponse),
+}
+
+impl WireResponse {
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Self, WireError> {
+        serde_json::from_str(line).map_err(|e| WireError::BadRequest(e.to_string()))
+    }
+
+    /// The response's request id, if present.
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            WireResponse::Ok(r) => Some(&r.id),
+            WireResponse::Err(e) => e.id.as_deref(),
+        }
+    }
+}
+
+impl Deserialize for WireResponse {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        if v.field("error").is_ok() {
+            ErrorResponse::deserialize(v).map(WireResponse::Err)
+        } else {
+            AllocResponse::deserialize(v).map(WireResponse::Ok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StreamGraphBuilder;
+
+    fn tiny() -> StreamGraph {
+        let mut b = StreamGraphBuilder::new();
+        let a = b.add_node(Operator::new(100.0));
+        let c = b.add_node(Operator::new(200.0));
+        b.add_edge(a, c, Channel::new(8.0)).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn request_roundtrips_with_overrides() {
+        let req = AllocRequest {
+            id: "r1".to_string(),
+            graph: tiny(),
+            source_rate: Some(1e4),
+            devices: Some(8),
+        };
+        let line = req.to_line();
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            WireRequest::Alloc(back) => {
+                assert_eq!(back.id, "r1");
+                assert_eq!(back.graph, req.graph);
+                assert_eq!(back.source_rate, Some(1e4));
+                assert_eq!(back.devices, Some(8));
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn omitted_overrides_parse_as_none() {
+        let req = AllocRequest {
+            id: "r2".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+        };
+        let line = req.to_line();
+        assert!(!line.contains("source_rate"));
+        match parse_request(&line).unwrap() {
+            WireRequest::Alloc(back) => {
+                assert_eq!(back.source_rate, None);
+                assert_eq!(back.devices, None);
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_line_parses() {
+        assert!(matches!(
+            parse_request(shutdown_line()),
+            Ok(WireRequest::Shutdown)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"cmd":"reboot"}"#),
+            Err(WireError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_is_bad_request_not_panic() {
+        for line in ["{not json", "", "42", r#"{"id":"x"}"#] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code(), "bad-request", "line {line:?} gave {err}");
+        }
+    }
+
+    #[test]
+    fn structurally_broken_graph_is_invalid_graph() {
+        // Dangling endpoint: edge points at node 9 of a 2-node graph.
+        let line = AllocRequest {
+            id: "r".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+        }
+        .to_line()
+        .replacen("[[0,1]]", "[[0,9]]", 1);
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code(), "invalid-graph", "{err}");
+
+        // Numerically broken: negative operator cost.
+        let line = AllocRequest {
+            id: "r".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+        }
+        .to_line()
+        .replacen("\"ipt\":100", "\"ipt\":-100", 1);
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code(), "invalid-graph", "{err}");
+    }
+
+    #[test]
+    fn bad_overrides_are_rejected() {
+        let mk = |sr: Option<f64>, dev: Option<usize>| AllocRequest {
+            id: "r".to_string(),
+            graph: tiny(),
+            source_rate: sr,
+            devices: dev,
+        };
+        assert!(matches!(
+            parse_request(&mk(Some(-1.0), None).to_line()),
+            Err(WireError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_request(&mk(None, Some(0)).to_line()),
+            Err(WireError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = AllocResponse {
+            id: "r1".to_string(),
+            placement: vec![0, 2, 1],
+            relative_throughput: 0.875,
+            cached: true,
+        };
+        assert_eq!(
+            WireResponse::parse(&ok.to_line()).unwrap(),
+            WireResponse::Ok(ok.clone())
+        );
+
+        let err = WireError::Timeout("waited 5000 ms".to_string()).response(Some("r2".to_string()));
+        let back = WireResponse::parse(&err.to_line()).unwrap();
+        assert_eq!(back, WireResponse::Err(err));
+        assert_eq!(back.id(), Some("r2"));
+
+        // An id-less error (unparseable request) still roundtrips.
+        let anon = WireError::BadRequest("not json".to_string()).response(None);
+        let back = WireResponse::parse(&anon.to_line()).unwrap();
+        assert_eq!(back.id(), None);
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(WireError::Draining.code(), "draining");
+        assert_eq!(WireError::Overloaded(String::new()).code(), "overloaded");
+        assert_eq!(WireError::Timeout(String::new()).code(), "timeout");
+        assert_eq!(WireError::Internal(String::new()).code(), "internal");
+    }
+}

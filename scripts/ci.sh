@@ -39,3 +39,27 @@ test ! -e "$SMOKE_DIR/crashed.json"   # died before the final save
     --out "$SMOKE_DIR/crashed.json"
 cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/crashed.json"
 echo "kill-and-resume smoke OK"
+
+# Serving: start the allocation service on a random port, fire concurrent
+# requests from the open-loop load generator, and require that every
+# response parsed, identical requests got bitwise-identical placements
+# (bench-serve exits nonzero otherwise), and the shutdown command drained
+# the server to a clean exit 0.
+"$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "spg serve never printed its listen address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+"$SPG" bench-serve --addr "$ADDR" --connections 4 --requests 24 \
+    --graphs 6 --rate 100 --shutdown --out "$SMOKE_DIR/bench_serve.json"
+wait "$SERVE_PID"
+echo "serve smoke OK"

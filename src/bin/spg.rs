@@ -16,7 +16,8 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::cli::{
-    AllocateArgs, CliError, Command, EvaluateArgs, GenerateArgs, ReportArgs, TrainArgs,
+    AllocateArgs, BenchServeArgs, CliError, Command, EvaluateArgs, GenerateArgs, ReportArgs,
+    ServeArgs, TrainArgs,
 };
 use spg::eval::evaluate_allocator;
 use spg::gen::DatasetSpec;
@@ -50,6 +51,8 @@ fn main() -> ExitCode {
         Command::Evaluate(args) => evaluate(args),
         Command::Allocate(args) => allocate(args),
         Command::Report(args) => report(args),
+        Command::Serve(args) => serve(args),
+        Command::BenchServe(args) => bench_serve(args),
     }
 }
 
@@ -286,6 +289,115 @@ fn allocate(args: AllocateArgs) -> ExitCode {
     );
     println!("devices used: {}", placement.devices_used());
     println!("placement: {:?}", placement.as_slice());
+    ExitCode::SUCCESS
+}
+
+fn serve(args: ServeArgs) -> ExitCode {
+    let ck = match load_checkpoint(&args.model) {
+        Ok(ck) => ck,
+        Err(code) => return code,
+    };
+    let sink = match &args.metrics {
+        Some(path) => match TelemetrySink::jsonl_file(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("failed to open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => TelemetrySink::disabled(),
+    };
+    let spec = DatasetSpec::for_setting(args.setting);
+    let mut cfg = spg::serve::ServeConfig {
+        addr: args.addr,
+        max_batch: args.max_batch,
+        queue_capacity: args.queue,
+        request_timeout_ms: args.timeout_ms,
+        cache_capacity: args.cache,
+        seed: args.seed,
+        ..spg::serve::ServeConfig::default()
+    };
+    if let Some(workers) = args.workers {
+        cfg.workers = workers;
+    }
+    let server = match spg::serve::Server::bind(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // The exact `listening on ADDR` shape is what scripts/ci.sh and
+        // harnesses parse to find a port-0 server.
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("failed to resolve listen address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run(ck, spec.cluster(), spec.source_rate, &sink) {
+        Ok(report) => {
+            println!(
+                "drained: {} responses, {} errors, {} batches, \
+                 cache {} hits / {} misses",
+                report.responses,
+                report.errors,
+                report.batches,
+                report.cache_hits,
+                report.cache_misses
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_serve(args: BenchServeArgs) -> ExitCode {
+    let cfg = spg::serve::BenchConfig {
+        addr: args.addr,
+        connections: args.connections,
+        requests: args.requests,
+        graphs: args.graphs,
+        seed: args.seed,
+        rate: args.rate,
+        shutdown: args.shutdown,
+    };
+    let report = match spg::serve::run_bench(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench-serve failed against {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, report.to_json() + "\n") {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}/{} ok ({} cached, {} errors) in {:.2}s — {:.1} req/s sustained, \
+         latency p50 {:.1} ms / p99 {:.1} ms",
+        report.ok,
+        report.requests,
+        report.cached,
+        report.errors,
+        report.elapsed_s,
+        report.sustained_rps,
+        report.latency_p50_ms,
+        report.latency_p99_ms
+    );
+    println!("report written to {}", args.out.display());
+    if !report.consistent {
+        eprintln!("FAIL: identical requests received different placements");
+        return ExitCode::FAILURE;
+    }
+    if report.ok == 0 {
+        eprintln!("FAIL: no successful responses");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

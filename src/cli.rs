@@ -24,6 +24,10 @@ pub enum Command {
     Allocate(AllocateArgs),
     /// `spg report` — summarize a training telemetry JSONL file.
     Report(ReportArgs),
+    /// `spg serve` — run the long-lived allocation service.
+    Serve(ServeArgs),
+    /// `spg bench-serve` — open-loop load generator against `spg serve`.
+    BenchServe(BenchServeArgs),
 }
 
 /// Arguments of `spg generate`.
@@ -101,6 +105,53 @@ pub struct ReportArgs {
     pub metrics: PathBuf,
 }
 
+/// Arguments of `spg serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Trained model checkpoint to serve.
+    pub model: PathBuf,
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Paper setting whose cluster and source rate are the request
+    /// defaults.
+    pub setting: Setting,
+    /// Maximum requests coalesced into one encoder forward pass.
+    pub max_batch: usize,
+    /// Bounded request-queue depth (`overloaded` beyond it).
+    pub queue: usize,
+    /// Per-request timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Placement-cache capacity (0 disables caching).
+    pub cache: usize,
+    /// Rollout worker threads (`None` = auto).
+    pub workers: Option<usize>,
+    /// Placement seed.
+    pub seed: u64,
+    /// Telemetry JSONL output path (`None` = telemetry disabled).
+    pub metrics: Option<PathBuf>,
+}
+
+/// Arguments of `spg bench-serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchServeArgs {
+    /// Address of a running `spg serve`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Distinct seeded graphs cycled through the request stream.
+    pub graphs: usize,
+    /// Graph-generator seed.
+    pub seed: u64,
+    /// Offered load in requests/second (open loop).
+    pub rate: f64,
+    /// Send a shutdown command to the server after the run.
+    pub shutdown: bool,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
 /// Why parsing stopped without producing a [`Command`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
@@ -130,6 +181,8 @@ pub fn general_help() -> String {
      \x20 evaluate   compare allocators on a dataset\n\
      \x20 allocate   place one graph with a trained model\n\
      \x20 report     summarize a training telemetry JSONL file\n\
+     \x20 serve      run the long-lived allocation service (JSONL over TCP)\n\
+     \x20 bench-serve  open-loop load generator against a running `spg serve`\n\
      \n\
      run `spg <command> --help` for command options"
         .to_string()
@@ -137,6 +190,19 @@ pub fn general_help() -> String {
 
 fn settings_list() -> String {
     Setting::all().map(|s| s.slug()).join("|")
+}
+
+/// Parse a `--setting` value by its slug.
+fn parse_setting(name: &str) -> Result<Setting, CliError> {
+    Setting::all()
+        .into_iter()
+        .find(|s| s.slug() == name)
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "invalid value `{name}` for --setting (one of: {})",
+                settings_list()
+            ))
+        })
 }
 
 /// Usage text of one subcommand (`spg <cmd> --help`).
@@ -202,6 +268,50 @@ pub fn command_help(cmd: &str) -> String {
              Summarize a telemetry stream written by `spg train --metrics`:\n\
              per-phase time breakdown, counters (reward-cache hit rate,\n\
              simulator calls), histograms, and the reward curve."
+            .to_string(),
+        "serve" => format!(
+            "usage: spg serve --model FILE [options]\n\
+             \n\
+             Long-running allocation service: loads the checkpoint once, then\n\
+             answers line-delimited JSON allocation requests over TCP with\n\
+             batched inference and a placement cache. Prints one\n\
+             `listening on ADDR` line once ready; a `{{\"cmd\":\"shutdown\"}}`\n\
+             request drains in-flight work and exits.\n\
+             \n\
+             required:\n\
+             \x20 --model FILE    trained model checkpoint\n\
+             \n\
+             options:\n\
+             \x20 --addr A        listen address (default 127.0.0.1:0)\n\
+             \x20 --setting <{}>\n\
+             \x20                 cluster + source-rate request defaults (default small)\n\
+             \x20 --max-batch N   max requests per encoder forward pass (default 8)\n\
+             \x20 --queue N       bounded queue depth; `overloaded` beyond it (default 64)\n\
+             \x20 --timeout-ms N  per-request timeout (default 5000)\n\
+             \x20 --cache N       placement-cache entries, 0 disables (default 256)\n\
+             \x20 --workers N     rollout worker threads (default: auto)\n\
+             \x20 --seed S        placement seed (default 7)\n\
+             \x20 --metrics FILE  write telemetry events (JSONL) to FILE",
+            settings_list()
+        ),
+        "bench-serve" => "usage: spg bench-serve --addr A [options]\n\
+             \n\
+             Open-loop seeded load generator: fires allocation requests at a\n\
+             fixed rate over concurrent connections, checks that identical\n\
+             requests receive bitwise-identical placements, and writes a JSON\n\
+             report with sustained req/s and latency percentiles.\n\
+             \n\
+             required:\n\
+             \x20 --addr A         address of a running `spg serve`\n\
+             \n\
+             options:\n\
+             \x20 --connections N  concurrent client connections (default 4)\n\
+             \x20 --requests N     total requests (default 64)\n\
+             \x20 --graphs N       distinct graphs cycled through (default 8)\n\
+             \x20 --seed S         graph-generator seed (default 0)\n\
+             \x20 --rate R         offered load in req/s (default 200)\n\
+             \x20 --shutdown       send a shutdown command after the run\n\
+             \x20 --out FILE       report path (default BENCH_serve.json)"
             .to_string(),
         other => panic!("no help for unknown command `{other}`"),
     }
@@ -284,6 +394,8 @@ impl Command {
             "evaluate" => Self::parse_evaluate(rest),
             "allocate" => Self::parse_allocate(rest),
             "report" => Self::parse_report(rest),
+            "serve" => Self::parse_serve(rest),
+            "bench-serve" => Self::parse_bench_serve(rest),
             other => Err(CliError::Usage(format!(
                 "unknown command `{other}`\n\n{}",
                 general_help()
@@ -298,20 +410,7 @@ impl Command {
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("generate"))),
-                "--setting" => {
-                    let name = a.value("setting")?;
-                    setting = Some(
-                        Setting::all()
-                            .into_iter()
-                            .find(|s| s.slug() == name)
-                            .ok_or_else(|| {
-                                CliError::Usage(format!(
-                                    "invalid value `{name}` for --setting (one of: {})",
-                                    settings_list()
-                                ))
-                            })?,
-                    );
-                }
+                "--setting" => setting = Some(parse_setting(a.value("setting")?)?),
                 "--count" => count = parse_num("generate", "count", a.value("count")?)?,
                 "--seed" => seed = parse_num("generate", "seed", a.value("seed")?)?,
                 "--scaled" => scaled = true,
@@ -453,6 +552,91 @@ impl Command {
                     "spg report needs a METRICS.jsonl path (see `spg report --help`)".to_string(),
                 )
             })?,
+        }))
+    }
+
+    fn parse_serve(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("serve", rest);
+        let (mut model, mut workers, mut metrics) = (None, None, None);
+        let mut addr = String::from("127.0.0.1:0");
+        let mut setting = Setting::Small;
+        let (mut max_batch, mut queue, mut cache) = (8usize, 64usize, 256usize);
+        let (mut timeout_ms, mut seed) = (5000u64, 7u64);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("serve"))),
+                "--model" => model = Some(PathBuf::from(a.value("model")?)),
+                "--addr" => addr = a.value("addr")?.to_string(),
+                "--setting" => setting = parse_setting(a.value("setting")?)?,
+                "--max-batch" => {
+                    max_batch = parse_num("serve", "max-batch", a.value("max-batch")?)?
+                }
+                "--queue" => queue = parse_num("serve", "queue", a.value("queue")?)?,
+                "--timeout-ms" => {
+                    timeout_ms = parse_num("serve", "timeout-ms", a.value("timeout-ms")?)?
+                }
+                "--cache" => cache = parse_num("serve", "cache", a.value("cache")?)?,
+                "--workers" => workers = Some(parse_num("serve", "workers", a.value("workers")?)?),
+                "--seed" => seed = parse_num("serve", "seed", a.value("seed")?)?,
+                "--metrics" => metrics = Some(PathBuf::from(a.value("metrics")?)),
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Serve(ServeArgs {
+            model: model.ok_or_else(|| a.missing("model"))?,
+            addr,
+            setting,
+            max_batch,
+            queue,
+            timeout_ms,
+            cache,
+            workers,
+            seed,
+            metrics,
+        }))
+    }
+
+    fn parse_bench_serve(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("bench-serve", rest);
+        let mut addr = None;
+        let (mut connections, mut requests, mut graphs) = (4usize, 64usize, 8usize);
+        let (mut seed, mut rate, mut shutdown) = (0u64, 200.0f64, false);
+        let mut out = PathBuf::from("BENCH_serve.json");
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("bench-serve"))),
+                "--addr" => addr = Some(a.value("addr")?.to_string()),
+                "--connections" => {
+                    connections = parse_num("bench-serve", "connections", a.value("connections")?)?
+                }
+                "--requests" => {
+                    requests = parse_num("bench-serve", "requests", a.value("requests")?)?
+                }
+                "--graphs" => graphs = parse_num("bench-serve", "graphs", a.value("graphs")?)?,
+                "--seed" => seed = parse_num("bench-serve", "seed", a.value("seed")?)?,
+                "--rate" => {
+                    rate = parse_num("bench-serve", "rate", a.value("rate")?)?;
+                    if !(rate > 0.0 && rate.is_finite()) {
+                        return Err(CliError::Usage(format!(
+                            "invalid value `{rate}` for --rate: must be a positive req/s \
+                             (see `spg bench-serve --help`)"
+                        )));
+                    }
+                }
+                "--shutdown" => shutdown = true,
+                "--out" => out = PathBuf::from(a.value("out")?),
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::BenchServe(BenchServeArgs {
+            addr: addr.ok_or_else(|| a.missing("addr"))?,
+            connections,
+            requests,
+            graphs,
+            seed,
+            rate,
+            shutdown,
+            out,
         }))
     }
 }
@@ -633,12 +817,83 @@ mod tests {
     fn help_everywhere() {
         assert!(matches!(parse("--help"), Err(CliError::Help(_))));
         assert!(matches!(parse("help"), Err(CliError::Help(_))));
-        for cmd in ["generate", "train", "evaluate", "allocate", "report"] {
+        for cmd in [
+            "generate",
+            "train",
+            "evaluate",
+            "allocate",
+            "report",
+            "serve",
+            "bench-serve",
+        ] {
             let Err(CliError::Help(text)) = parse(&format!("{cmd} --help")) else {
                 panic!("{cmd} --help must be a help error")
             };
             assert!(text.contains(&format!("spg {cmd}")), "{cmd}: {text}");
         }
+    }
+
+    #[test]
+    fn serve_defaults_and_full_invocation() {
+        let Command::Serve(s) = parse("serve --model m.json").unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.model, PathBuf::from("m.json"));
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.setting.slug(), "small");
+        assert_eq!((s.max_batch, s.queue, s.cache), (8, 64, 256));
+        assert_eq!((s.timeout_ms, s.seed), (5000, 7));
+        assert_eq!((s.workers, s.metrics), (None, None));
+
+        let Command::Serve(s) = parse(
+            "serve --model m --addr 0.0.0.0:9000 --setting large --max-batch 4 \
+             --queue 16 --timeout-ms 250 --cache 0 --workers 2 --seed 5 --metrics t.jsonl",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.addr, "0.0.0.0:9000");
+        assert_eq!(s.setting.slug(), "large");
+        assert_eq!((s.max_batch, s.queue, s.cache), (4, 16, 0));
+        assert_eq!((s.timeout_ms, s.seed), (250, 5));
+        assert_eq!(s.workers, Some(2));
+        assert_eq!(s.metrics, Some(PathBuf::from("t.jsonl")));
+
+        let Err(CliError::Usage(msg)) = parse("serve") else {
+            panic!()
+        };
+        assert!(msg.contains("--model is required"), "{msg}");
+    }
+
+    #[test]
+    fn bench_serve_defaults_and_full_invocation() {
+        let Command::BenchServe(b) = parse("bench-serve --addr 127.0.0.1:9000").unwrap() else {
+            panic!()
+        };
+        assert_eq!(b.addr, "127.0.0.1:9000");
+        assert_eq!((b.connections, b.requests, b.graphs), (4, 64, 8));
+        assert_eq!((b.seed, b.rate, b.shutdown), (0, 200.0, false));
+        assert_eq!(b.out, PathBuf::from("BENCH_serve.json"));
+
+        let Command::BenchServe(b) = parse(
+            "bench-serve --addr h:1 --connections 2 --requests 10 --graphs 3 \
+             --seed 9 --rate 50 --shutdown --out r.json",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!((b.connections, b.requests, b.graphs), (2, 10, 3));
+        assert_eq!((b.seed, b.rate, b.shutdown), (9, 50.0, true));
+        assert_eq!(b.out, PathBuf::from("r.json"));
+
+        let Err(CliError::Usage(msg)) = parse("bench-serve --addr h:1 --rate -3") else {
+            panic!()
+        };
+        assert!(msg.contains("positive"), "{msg}");
+        let Err(CliError::Usage(msg)) = parse("bench-serve") else {
+            panic!()
+        };
+        assert!(msg.contains("--addr is required"), "{msg}");
     }
 
     #[test]

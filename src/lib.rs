@@ -16,6 +16,8 @@
 //! * [`baselines`] — Graph-enc-dec, GDP-lite, Hierarchical, heuristics.
 //! * [`eval`] — CDF/AUC metrics and the experiment harness.
 //! * [`obs`] — opt-in telemetry: spans, counters, JSONL event streams.
+//! * [`serve`] — long-running allocation service (batched, cached
+//!   inference over a JSONL/TCP protocol) and its load generator.
 //!
 //! The [`cli`] module holds the typed argument parser behind the `spg`
 //! binary.
@@ -30,6 +32,7 @@ pub use spg_graph as graph;
 pub use spg_nn as nn;
 pub use spg_obs as obs;
 pub use spg_partition as partition;
+pub use spg_serve as serve;
 pub use spg_sim as sim;
 
 pub use spg_graph::{Allocator, ClusterSpec, Placement, StreamGraph};

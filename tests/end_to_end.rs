@@ -4,7 +4,8 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::gen::{DatasetSpec, Setting};
-use spg::graph::Allocator;
+use spg::graph::{Allocator, Operator, StreamGraphBuilder};
+use spg::model::checkpoint::Checkpoint;
 use spg::model::pipeline::{CoarsenOnlyAllocator, MetisCoarsePlacer};
 use spg::model::{CoarsenAllocator, CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
 use spg::partition::MetisAllocator;
@@ -106,6 +107,56 @@ fn coarsen_only_is_valid_everywhere() {
             assert!(p.validate(&g, cluster.devices));
             assert!(p.devices_used() <= cluster.devices);
         }
+    }
+}
+
+#[test]
+fn degenerate_graphs_survive_train_checkpoint_allocate_round_trip() {
+    // 1-node and 0-edge graphs must flow through the full pipeline —
+    // training buffer, checkpoint serialization, and allocation — without
+    // panicking (the serving path is covered in tests/serve.rs).
+    let one_node = {
+        let mut b = StreamGraphBuilder::new();
+        b.add_node(Operator::new(120.0));
+        b.finish().expect("1-node graph is valid")
+    };
+    let edgeless = {
+        let mut b = StreamGraphBuilder::new();
+        for i in 0..4 {
+            b.add_node(Operator::new(90.0 + i as f64));
+        }
+        b.finish().expect("edgeless graph is valid")
+    };
+
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let cluster = spec.cluster();
+    let mut graphs = vec![one_node.clone(), edgeless.clone()];
+    graphs.push(spg::gen::generate_graph(&spec, 8080));
+    let mut rng = ChaCha8Rng::seed_from_u64(55);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(55))
+        .graphs(graphs)
+        .cluster(cluster)
+        .source_rate(spec.source_rate)
+        .options(TrainOptions::new().seed(55))
+        .build();
+    trainer.train_epoch();
+
+    // Round-trip the model through its serialized checkpoint form.
+    let path = std::env::temp_dir().join("spg-e2e-degenerate-ckpt.json");
+    trainer.checkpoint().save(&path).expect("save checkpoint");
+    let restored = Checkpoint::load(&path).expect("load checkpoint");
+    let _ = std::fs::remove_file(&path);
+
+    let alloc = CoarsenAllocator::new(restored.into_model(), MetisCoarsePlacer::new(55));
+    for (name, g) in [("one-node", &one_node), ("edgeless", &edgeless)] {
+        let p = alloc.allocate(g, &cluster, spec.source_rate);
+        assert!(p.validate(g, cluster.devices), "invalid placement: {name}");
+        let r = spg::sim::relative_throughput(g, &cluster, &p, spec.source_rate);
+        assert!(
+            r.is_finite() && (0.0..=1.0).contains(&r),
+            "{name}: relative throughput {r} out of range"
+        );
     }
 }
 

@@ -15,6 +15,7 @@ fn des_cfg() -> DesConfig {
         warmup_steps: 4000,
         measure_steps: 4000,
         queue_capacity: 200.0,
+        ..DesConfig::default()
     }
 }
 
@@ -32,13 +33,16 @@ fn analytic_and_des_agree_on_random_placements() {
         );
         let a = spg::sim::analytic::simulate(&g, &cluster, &p, spec.source_rate);
         let d = simulate_des(&g, &cluster, &p, spec.source_rate, &des_cfg());
-        // Tolerance 0.1, not 0.05: on some random placements the analytic
-        // bottleneck model is persistently conservative vs the backpressure
-        // DES (the gap survives 10x longer simulations, so it is model
-        // error, not noise). Rank consistency — what the reward actually
-        // needs — is checked tightly below.
+        // The historical 0.05..0.08 gap here was a DES measurement
+        // artifact, not analytic model error: with a fixed window the DES
+        // reported the pre-equilibrium accepted rate while bounded queues
+        // were still absorbing the excess (backpressure reaches the
+        // sources only after O(queue_capacity / excess_rate) seconds per
+        // hop). The DES now extends its measurement until the accepted
+        // rate and the buffered mass both settle, and the two simulators
+        // agree within 0.05 on every seed.
         assert!(
-            (a.relative - d.relative).abs() < 0.1,
+            (a.relative - d.relative).abs() < 0.05,
             "seed {seed}: analytic {} vs des {}",
             a.relative,
             d.relative
