@@ -15,7 +15,7 @@ use spg_core::{
 };
 use spg_gen::{DatasetSpec, Setting};
 use spg_graph::StreamGraph;
-use spg_nn::Matrix;
+use spg_nn::{MatmulMode, Matrix};
 use std::path::Path;
 
 const MATMUL_DIM: usize = 128;
@@ -68,24 +68,59 @@ fn bench_train_epoch(c: &mut Criterion, worker_counts: &[usize]) {
     group.finish();
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let n = MATMUL_DIM;
+fn matmul_operands(n: usize, k: usize, m: usize) -> (Matrix, Matrix) {
     let a = Matrix::from_vec(
         n,
-        n,
-        (0..n * n).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect(),
+        k,
+        (0..n * k).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect(),
     );
     let b = Matrix::from_vec(
-        n,
-        n,
-        (0..n * n).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+        k,
+        m,
+        (0..k * m).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
     );
+    (a, b)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = MATMUL_DIM;
     let mut group = c.benchmark_group("matmul");
     group.sample_size(10);
+    // Square kernel-rate rows, strict vs fast-math (the `f32/128x128` id
+    // is the key scripts/ci.sh's perf gate tracks across PRs).
+    let (a, b) = matmul_operands(n, n, n);
     group.bench_function(BenchmarkId::new("f32", format!("{n}x{n}")), |bch| {
-        bch.iter(|| black_box(a.matmul(&b)))
+        bch.iter(|| black_box(a.matmul_with_mode(&b, MatmulMode::Strict)))
     });
+    group.bench_function(BenchmarkId::new("f32-fast", format!("{n}x{n}")), |bch| {
+        bch.iter(|| black_box(a.matmul_with_mode(&b, MatmulMode::Fast)))
+    });
+    // The shapes the inference path actually runs: [nodes x in]·[in x
+    // hidden] of the encoder input projection and the per-hop update at
+    // default config dims (ragged, not multiple-of-8 friendly).
+    for (rows, cols, hidden) in [(320usize, 28usize, 24usize), (160, 48, 24)] {
+        let (a, b) = matmul_operands(rows, cols, hidden);
+        group.bench_function(
+            BenchmarkId::new("f32", format!("{rows}x{cols}x{hidden}")),
+            |bch| bch.iter(|| black_box(a.matmul_with_mode(&b, MatmulMode::Strict))),
+        );
+    }
     group.finish();
+}
+
+/// `NxK` (square-output `NxKxN` shorthand for the legacy `128x128` id) or
+/// `NxKxM` dims from a `matmul/<kind>/<shape>` bench id.
+fn matmul_flops(id: &str) -> Option<f64> {
+    let shape = id.rsplit('/').next()?;
+    let dims: Vec<f64> = shape
+        .split('x')
+        .map(|d| d.parse().ok())
+        .collect::<Option<_>>()?;
+    match dims.as_slice() {
+        [n, k] => Some(2.0 * n * k * n),
+        [n, k, m] => Some(2.0 * n * k * m),
+        _ => None,
+    }
 }
 
 fn emit_json(c: &Criterion, path: &Path) {
@@ -93,9 +128,9 @@ fn emit_json(c: &Criterion, path: &Path) {
     for r in &c.results {
         let mut fields = format!("\"ns_per_iter\": {:.1}", r.ns_per_iter);
         if r.id.starts_with("matmul/") {
-            // 2·n³ flops per multiply.
-            let flops = 2.0 * (MATMUL_DIM as f64).powi(3);
-            fields.push_str(&format!(", \"gflops\": {:.3}", flops / r.ns_per_iter));
+            if let Some(flops) = matmul_flops(&r.id) {
+                fields.push_str(&format!(", \"gflops\": {:.3}", flops / r.ns_per_iter));
+            }
         }
         lines.push(format!("  \"{}\": {{ {} }}", r.id, fields));
     }

@@ -18,11 +18,11 @@ use spg_nn::{Matrix, ParamSet, Tape, Var};
 /// The collapse head: node embeddings + edge features → per-edge logits.
 #[derive(Debug, Clone)]
 pub struct CollapseHead {
-    head_proj: Linear,
-    tail_proj: Linear,
-    edge_proj: Linear,
-    merge: Mlp,
-    edge_collapse_features: bool,
+    pub(crate) head_proj: Linear,
+    pub(crate) tail_proj: Linear,
+    pub(crate) edge_proj: Linear,
+    pub(crate) merge: Mlp,
+    pub(crate) edge_collapse_features: bool,
 }
 
 impl CollapseHead {

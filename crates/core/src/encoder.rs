@@ -23,12 +23,12 @@ use spg_nn::{Matrix, ParamSet, Tape, Var};
 /// The edge-aware GNN encoder.
 #[derive(Debug, Clone)]
 pub struct EdgeAwareGnn {
-    input_proj: Linear,
-    msg: Mlp,
-    update: Linear,
-    hidden: usize,
-    hops: usize,
-    edge_encoding: bool,
+    pub(crate) input_proj: Linear,
+    pub(crate) msg: Mlp,
+    pub(crate) update: Linear,
+    pub(crate) hidden: usize,
+    pub(crate) hops: usize,
+    pub(crate) edge_encoding: bool,
 }
 
 impl EdgeAwareGnn {

@@ -27,6 +27,7 @@ pub mod config;
 pub mod curriculum;
 pub mod encoder;
 pub mod fault;
+pub mod infer;
 pub mod model;
 pub mod pipeline;
 pub mod policy;
@@ -38,6 +39,7 @@ pub use checkpoint::{
 };
 pub use config::CoarsenConfig;
 pub use fault::{FaultError, FaultEvent, FaultKind, FaultPolicy, FaultStats, RecoveryAction};
+pub use infer::{BatchUnion, InferenceScratch};
 pub use model::CoarsenModel;
 pub use pipeline::{CoarsePlacer, CoarsenAllocator, CoarsenOracleAllocator, MetisCoarsePlacer};
 pub use policy::{CoarseningPolicy, DecodeMode};

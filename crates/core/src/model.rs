@@ -3,9 +3,9 @@
 use crate::collapse::CollapseHead;
 use crate::config::CoarsenConfig;
 use crate::encoder::EdgeAwareGnn;
+use crate::infer::{BatchUnion, InferenceScratch};
 use rand::Rng;
-use spg_graph::features::{EdgeFeatures, NodeFeatures};
-use spg_graph::{ClusterSpec, GraphFeatures, StreamGraph, TopoView};
+use spg_graph::{ClusterSpec, GraphFeatures, StreamGraph};
 use spg_nn::{ParamSet, Tape, Var};
 
 /// The edge-collapsing coarsening model (§IV).
@@ -13,8 +13,8 @@ use spg_nn::{ParamSet, Tape, Var};
 pub struct CoarsenModel {
     /// Hyperparameters (kept for checkpointing / ablation bookkeeping).
     pub config: CoarsenConfig,
-    encoder: EdgeAwareGnn,
-    head: CollapseHead,
+    pub(crate) encoder: EdgeAwareGnn,
+    pub(crate) head: CollapseHead,
     params: ParamSet,
 }
 
@@ -59,17 +59,16 @@ impl CoarsenModel {
         self.predict_probs_with_features(graph, &feats)
     }
 
-    /// Inference-only probabilities reusing extracted features.
+    /// Inference-only probabilities reusing extracted features. Runs the
+    /// tape-free forward (see [`crate::infer`]), which is pinned bitwise
+    /// identical to the tape path by the `tests/infer.rs` corpus.
     pub fn predict_probs_with_features(
         &self,
         graph: &StreamGraph,
         feats: &GraphFeatures,
     ) -> Vec<f32> {
-        let mut t = Tape::new();
-        match self.forward(&mut t, graph, feats) {
-            Some(z) => t.value(z).data.iter().map(|&x| sigmoid(x)).collect(),
-            None => Vec::new(),
-        }
+        let mut scratch = InferenceScratch::new();
+        self.infer_probs(graph, feats, &mut scratch)
     }
 
     /// Number of scalar parameters.
@@ -87,71 +86,26 @@ impl CoarsenModel {
     /// union never mixes segments across graphs, so each graph's
     /// probabilities are **bitwise identical** to a solo
     /// [`Self::predict_probs_with_features`] call — batching is purely a
-    /// throughput optimisation (one tape, one weight traversal).
+    /// throughput optimisation (one weight traversal).
     ///
     /// Edgeless graphs are excluded from the union (their solo pass
     /// early-returns before message passing, which a union would not
     /// replicate) and simply get an empty probability vector.
+    ///
+    /// This is a convenience wrapper over
+    /// [`Self::predict_probs_batch_with`], which additionally reuses the
+    /// union builder and scratch arena across calls (the serve batcher
+    /// holds both).
     pub fn predict_probs_batch(&self, items: &[(&StreamGraph, &GraphFeatures)]) -> Vec<Vec<f32>> {
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); items.len()];
-        let edged: Vec<usize> = (0..items.len())
-            .filter(|&i| items[i].0.num_edges() > 0)
-            .collect();
-        if edged.is_empty() {
-            return out;
-        }
-
-        let mut node = Vec::new();
-        let mut edge = Vec::new();
-        let mut edges: Vec<(u32, u32)> = Vec::new();
-        let mut base = 0u32;
-        for &i in &edged {
-            let (g, f) = items[i];
-            node.extend_from_slice(&f.node.0);
-            edge.extend_from_slice(&f.edge.0);
-            edges.extend(
-                g.topo_view()
-                    .edges
-                    .iter()
-                    .map(|&(u, v)| (u + base, v + base)),
-            );
-            base += g.num_nodes() as u32;
-        }
-        let feats = GraphFeatures {
-            node: NodeFeatures(node),
-            edge: EdgeFeatures(edge),
-            num_nodes: base as usize,
-            num_edges: edges.len(),
-        };
-        let view = TopoView {
-            num_nodes: base as usize,
-            edges: &edges,
-        };
-
-        let mut t = Tape::new();
-        let h = self.encoder.encode(&mut t, &view, &feats);
-        let z = self.head.logits(&mut t, &view, &feats, h);
-        let logits = &t.value(z).data;
-
-        let mut pos = 0;
-        for &i in &edged {
-            let e = items[i].0.num_edges();
-            out[i] = logits[pos..pos + e].iter().map(|&x| sigmoid(x)).collect();
-            pos += e;
-        }
-        out
+        let mut union = BatchUnion::new();
+        let mut scratch = InferenceScratch::new();
+        self.predict_probs_batch_with(&mut union, &mut scratch, None, items)
     }
 }
 
-#[inline]
-pub(crate) fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
+/// The numerically stable sigmoid shared with the tape ops (identical
+/// bits between training-forward probabilities and inference).
+pub(crate) use spg_nn::stable_sigmoid as sigmoid;
 
 #[cfg(test)]
 mod tests {

@@ -4,6 +4,7 @@
 use crate::init::xavier;
 use crate::matrix::Matrix;
 use crate::param::{Param, ParamSet};
+use crate::scratch::InferenceScratch;
 use crate::tape::{Tape, Var};
 use rand::Rng;
 
@@ -30,6 +31,16 @@ impl Linear {
         let b = t.param(&self.b);
         let y = t.matmul(x, w);
         t.add_row(y, b)
+    }
+
+    /// Tape-free forward into a preallocated `out` (`x.rows x output_dim`).
+    /// Reads the weights in place — no parameter clone, no tape node —
+    /// and produces bitwise-identical values to [`Linear::forward`].
+    pub fn forward_infer(&self, x: &Matrix, out: &mut Matrix) {
+        let w = self.w.0.borrow();
+        let b = self.b.0.borrow();
+        x.matmul_into(&w.value, out);
+        out.add_row_assign(&b.value);
     }
 
     /// Input width.
@@ -60,6 +71,15 @@ impl Activation {
             Activation::Tanh => t.tanh(x),
             Activation::Relu => t.relu(x),
             Activation::Sigmoid => t.sigmoid(x),
+        }
+    }
+
+    /// In-place variant using the same scalar ops as the tape versions.
+    fn apply_infer(self, x: &mut Matrix) {
+        match self {
+            Activation::Tanh => x.tanh_assign(),
+            Activation::Relu => x.relu_assign(),
+            Activation::Sigmoid => x.sigmoid_assign(),
         }
     }
 }
@@ -97,6 +117,27 @@ impl Mlp {
             }
         }
         x
+    }
+
+    /// Tape-free forward; intermediates ping-pong through `scratch`.
+    /// Bitwise identical to [`Mlp::forward`]. The returned matrix comes
+    /// from the arena — `put` it back when done.
+    pub fn forward_infer(&self, x: &Matrix, scratch: &mut InferenceScratch) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut cur: Option<Matrix> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let xin = cur.as_ref().unwrap_or(x);
+            let mut out = scratch.take(xin.rows, layer.output_dim());
+            layer.forward_infer(xin, &mut out);
+            if i != last {
+                self.activation.apply_infer(&mut out);
+            }
+            if let Some(prev) = cur.take() {
+                scratch.put(prev);
+            }
+            cur = Some(out);
+        }
+        cur.expect("Mlp has at least one layer")
     }
 }
 

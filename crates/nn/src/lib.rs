@@ -21,10 +21,12 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod param;
+pub mod scratch;
 pub mod tape;
 
 pub use layers::{Linear, LstmCell, Mlp};
-pub use matrix::Matrix;
+pub use matrix::{matmul_mode, set_matmul_mode, stable_sigmoid, MatmulMode, Matrix};
 pub use optim::Adam;
 pub use param::{Param, ParamSet};
+pub use scratch::InferenceScratch;
 pub use tape::{Tape, Var};

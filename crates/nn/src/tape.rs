@@ -550,15 +550,7 @@ impl Tape {
     }
 }
 
-#[inline]
-fn sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
+use crate::matrix::stable_sigmoid as sigmoid;
 
 #[inline]
 fn softplus(x: f64) -> f64 {

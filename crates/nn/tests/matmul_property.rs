@@ -1,0 +1,246 @@
+//! Randomized kernel properties with shrinking.
+//!
+//! The vendored mini-proptest has no shrinker, so these tests hand-roll
+//! one: cases are drawn from a seeded stream (reproducible run-to-run),
+//! and on failure the dimensions are shrunk toward the smallest failing
+//! `(n, k, m)` before panicking — the report names dims and the data
+//! seed, which replays the exact case.
+//!
+//! Properties:
+//! * strict-mode `matmul` / `t_matmul` / `matmul_t` are **bitwise**
+//!   identical to the naive reference loops (single accumulator,
+//!   ascending inner index, no zero-skip) across ragged shapes;
+//! * fast-mode results stay within 1e-5 relative error of an f64
+//!   reference.
+
+use proptest::TestRng;
+use spg_nn::{MatmulMode, Matrix};
+
+/// Ragged-leaning dimension pool: 1 and Nx1/1xN shapes, non-multiples of
+/// 8, and sizes straddling the 32-wide panel and 64-wide cache block.
+const DIMS: &[usize] = &[
+    1, 2, 3, 5, 7, 8, 9, 15, 17, 31, 32, 33, 40, 63, 64, 65, 70, 129,
+];
+
+fn draw_dim(rng: &mut TestRng) -> usize {
+    if rng.below(4) == 0 {
+        rng.below(70) as usize + 1
+    } else {
+        DIMS[rng.below(DIMS.len() as u64) as usize]
+    }
+}
+
+/// Deterministic fill for a given seed: mostly uniform in [-2, 2], with
+/// exact zeros mixed in (the kernels must not special-case them — see
+/// the zero-skip removal note in `matrix.rs`) and exact powers of two.
+fn fill(rows: usize, cols: usize, rng: &mut TestRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| match rng.below(8) {
+            0 => 0.0,
+            1 => [-1.0f32, 0.5, 2.0, -0.25][rng.below(4) as usize],
+            _ => (rng.unit_f64() * 4.0 - 2.0) as f32,
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            let mut s = 0.0f32;
+            for kk in 0..a.cols {
+                s += a.get(i, kk) * b.get(kk, j);
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols, b.cols);
+    for i in 0..a.cols {
+        for j in 0..b.cols {
+            let mut s = 0.0f32;
+            for kk in 0..a.rows {
+                s += a.get(kk, i) * b.get(kk, j);
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.rows);
+    for i in 0..a.rows {
+        for j in 0..b.rows {
+            let mut s = 0.0f32;
+            for kk in 0..a.cols {
+                s += a.get(i, kk) * b.get(j, kk);
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+/// f64 reference of `a @ b` for the fast-mode error bound.
+fn f64_matmul(a: &Matrix, b: &Matrix) -> Vec<f64> {
+    let mut out = vec![0.0f64; a.rows * b.cols];
+    for i in 0..a.rows {
+        for j in 0..b.cols {
+            for kk in 0..a.cols {
+                out[i * b.cols + j] += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+            }
+        }
+    }
+    out
+}
+
+fn bits(m: &Matrix) -> Vec<u32> {
+    m.data.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One strict-mode case: all three kernels, bitwise against naive.
+fn check_strict(n: usize, k: usize, m: usize, seed: u64) -> Result<(), String> {
+    let mut rng = TestRng::new(seed);
+    let a = fill(n, k, &mut rng);
+    let b = fill(k, m, &mut rng);
+    if bits(&a.matmul_with_mode(&b, MatmulMode::Strict)) != bits(&naive_matmul(&a, &b)) {
+        return Err("matmul".into());
+    }
+    let at = fill(k, n, &mut rng);
+    if bits(&at.t_matmul_with_mode(&b, MatmulMode::Strict)) != bits(&naive_t_matmul(&at, &b)) {
+        return Err("t_matmul".into());
+    }
+    let bt = fill(m, k, &mut rng);
+    if bits(&a.matmul_t_with_mode(&bt, MatmulMode::Strict)) != bits(&naive_matmul_t(&a, &bt)) {
+        return Err("matmul_t".into());
+    }
+    Ok(())
+}
+
+/// One fast-mode case: ≤1e-5 relative error against the f64 reference.
+/// (`t_matmul`/`matmul_t` fast modes reduce to the same FMA building
+/// blocks; `matmul` vs its transposed-operand identities covers them.)
+fn check_fast(n: usize, k: usize, m: usize, seed: u64) -> Result<(), String> {
+    let mut rng = TestRng::new(seed);
+    let a = fill(n, k, &mut rng);
+    let b = fill(k, m, &mut rng);
+    let reference = f64_matmul(&a, &b);
+    for (op, got) in [
+        ("matmul", a.matmul_with_mode(&b, MatmulMode::Fast)),
+        // a^T^T @ b and a @ b^T^T hit the dedicated transpose kernels.
+        (
+            "t_matmul",
+            transpose(&a).t_matmul_with_mode(&b, MatmulMode::Fast),
+        ),
+        (
+            "matmul_t",
+            a.matmul_t_with_mode(&transpose(&b), MatmulMode::Fast),
+        ),
+    ] {
+        for (x, &r) in got.data.iter().zip(&reference) {
+            let err = (*x as f64 - r).abs();
+            if err > 1e-5 * r.abs().max(1.0) {
+                return Err(format!("{op}: |{x} - {r}| = {err:.3e}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn transpose(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.cols, m.rows);
+    for i in 0..m.rows {
+        for j in 0..m.cols {
+            out.set(j, i, m.get(i, j));
+        }
+    }
+    out
+}
+
+/// Shrink a failing `(n, k, m)` toward minimal: repeatedly halve, then
+/// decrement, each dimension while the case still fails.
+fn shrink(
+    mut dims: [usize; 3],
+    seed: u64,
+    check: &dyn Fn(usize, usize, usize, u64) -> Result<(), String>,
+) -> [usize; 3] {
+    let fails = |d: [usize; 3]| check(d[0], d[1], d[2], seed).is_err();
+    loop {
+        let mut shrunk = false;
+        for i in 0..3 {
+            while dims[i] > 1 {
+                let mut cand = dims;
+                cand[i] = (dims[i] / 2).max(1);
+                if cand[i] == dims[i] || !fails(cand) {
+                    break;
+                }
+                dims = cand;
+                shrunk = true;
+            }
+            let mut cand = dims;
+            if cand[i] > 1 {
+                cand[i] -= 1;
+                if fails(cand) {
+                    dims = cand;
+                    shrunk = true;
+                }
+            }
+        }
+        if !shrunk {
+            return dims;
+        }
+    }
+}
+
+fn run_cases(
+    name: &str,
+    cases: u64,
+    check: impl Fn(usize, usize, usize, u64) -> Result<(), String>,
+) {
+    let mut rng = TestRng::new(proptest::seed_of(name));
+    for case in 0..cases {
+        let (n, k, m) = (draw_dim(&mut rng), draw_dim(&mut rng), draw_dim(&mut rng));
+        let seed = rng.next_u64();
+        if let Err(msg) = check(n, k, m, seed) {
+            let min = shrink([n, k, m], seed, &check);
+            panic!(
+                "{name} case {case}: {msg} at dims {n}x{k}x{m} (seed {seed}); \
+                 shrunk to {}x{}x{}",
+                min[0], min[1], min[2]
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_kernels_match_naive_bitwise() {
+    run_cases("strict_kernels_match_naive_bitwise", 150, check_strict);
+}
+
+#[test]
+fn fast_kernels_within_relative_error() {
+    run_cases("fast_kernels_within_relative_error", 150, check_fast);
+}
+
+/// The classic ragged pins, explicitly: row/column vectors and widths
+/// just off the 8/32-lane boundaries, in both modes.
+#[test]
+fn ragged_shape_pins() {
+    for &(n, k, m) in &[
+        (1, 130, 1),
+        (1, 1, 130),
+        (130, 1, 1),
+        (1, 7, 9),
+        (9, 7, 1),
+        (3, 33, 31),
+        (33, 31, 33),
+    ] {
+        check_strict(n, k, m, 42).unwrap_or_else(|op| panic!("strict {op} at {n}x{k}x{m}"));
+        check_fast(n, k, m, 42).unwrap_or_else(|msg| panic!("fast at {n}x{k}x{m}: {msg}"));
+    }
+}

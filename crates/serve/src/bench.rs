@@ -36,6 +36,11 @@ pub struct BenchConfig {
     pub rate: f64,
     /// Send a shutdown command after the run.
     pub shutdown: bool,
+    /// Telemetry JSONL file the *server* writes (`spg serve --metrics`).
+    /// With `shutdown`, the drained server's `serve.encode_ns` /
+    /// `serve.rollout_ns` counters are folded into the report as the
+    /// encode-vs-rollout time split.
+    pub serve_metrics: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -48,6 +53,7 @@ impl Default for BenchConfig {
             seed: 0,
             rate: 200.0,
             shutdown: false,
+            serve_metrics: None,
         }
     }
 }
@@ -74,6 +80,11 @@ pub struct BenchReport {
     /// True iff every same-graph response carried a bitwise-identical
     /// placement.
     pub consistent: bool,
+    /// Server-side time in feature extraction + model forward (ms),
+    /// parsed from the server's telemetry stream (`serve_metrics`).
+    pub encode_ms: Option<f64>,
+    /// Server-side time in decode → place → simulate (ms).
+    pub rollout_ms: Option<f64>,
 }
 
 impl BenchReport {
@@ -129,6 +140,10 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
         ctl.write_all(b"\n")?;
         ctl.flush()?;
     }
+    let (encode_ms, rollout_ms) = match &cfg.serve_metrics {
+        Some(path) if cfg.shutdown => read_serve_split(path),
+        _ => (None, None),
+    };
 
     let samples = samples.into_inner().expect("sample lock poisoned");
     let mut ok = 0;
@@ -169,13 +184,39 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
         latency_p50_ms: spg_obs::percentile(&latencies, 50.0),
         latency_p99_ms: spg_obs::percentile(&latencies, 99.0),
         consistent,
+        encode_ms,
+        rollout_ms,
     })
 }
 
-/// One client connection: a writer on this thread pacing the open-loop
-/// schedule, plus an inline read phase collecting the pipelined
-/// responses afterwards (requests and responses both carry ids, so
-/// ordering is irrelevant).
+/// Extract the server's encode/rollout time split from its telemetry
+/// JSONL. The server flushes the counters while draining, concurrently
+/// with our shutdown command returning, so poll briefly for the file to
+/// contain both.
+fn read_serve_split(path: &std::path::Path) -> (Option<f64>, Option<f64>) {
+    for _ in 0..20 {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(summary) = spg_obs::Summary::from_lines(text.lines()) {
+                if let (Some(e), Some(r)) = (
+                    summary.counter("serve.encode_ns"),
+                    summary.counter("serve.rollout_ns"),
+                ) {
+                    return (Some(e as f64 / 1e6), Some(r as f64 / 1e6));
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    (None, None)
+}
+
+/// One client connection: this thread paces the open-loop write schedule
+/// while a reader thread collects responses **concurrently**. Reading as
+/// responses arrive is what makes the latency samples server latency: a
+/// sequential write-all-then-read phase would park early responses in
+/// the socket buffer until the schedule finished, folding the schedule's
+/// length into every early sample. (Requests and responses both carry
+/// ids, so ordering is irrelevant.)
 fn run_connection(
     addr: &str,
     conn: usize,
@@ -189,49 +230,59 @@ fn run_connection(
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     let mut out = stream.try_clone()?;
-    let mut sent: HashMap<String, (usize, Instant)> = HashMap::with_capacity(schedule.len());
-    for &(i, at) in schedule {
-        let now = Instant::now();
-        if at > now {
-            std::thread::sleep(at - now);
-        }
-        let gi = i % graphs.len();
-        let req = AllocRequest {
-            id: format!("c{conn}-r{i}"),
-            graph: graphs[gi].clone(),
-            source_rate: None,
-            devices: None,
-        };
-        out.write_all(req.to_line().as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
-        sent.insert(req.id, (gi, at));
-    }
-    out.shutdown(std::net::Shutdown::Write)?;
-
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    while !sent.is_empty() {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                let Ok(resp) = WireResponse::parse(line.trim()) else {
-                    continue;
-                };
-                let Some((gi, at)) = resp.id().and_then(|id| sent.remove(id)) else {
-                    continue;
-                };
-                samples.lock().expect("sample lock poisoned").push(Sample {
-                    graph_index: gi,
-                    latency_ms: at.elapsed().as_secs_f64() * 1e3,
-                    response: resp,
-                });
+    // id → (graph index, scheduled send time), precomputed so the reader
+    // can match responses while the writer is still pacing sends. The
+    // writer never sends before the scheduled instant, so a latency
+    // measured from it can only be late (open loop: queueing delay from
+    // a late send is charged to the server, never hidden).
+    let mut pending: HashMap<String, (usize, Instant)> = schedule
+        .iter()
+        .map(|&(i, at)| (format!("c{conn}-r{i}"), (i % graphs.len(), at)))
+        .collect();
+    std::thread::scope(|s| -> std::io::Result<()> {
+        let reader = s.spawn(move || {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            while !pending.is_empty() {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        let Ok(resp) = WireResponse::parse(line.trim()) else {
+                            continue;
+                        };
+                        let Some((gi, at)) = resp.id().and_then(|id| pending.remove(id)) else {
+                            continue;
+                        };
+                        samples.lock().expect("sample lock poisoned").push(Sample {
+                            graph_index: gi,
+                            latency_ms: at.elapsed().as_secs_f64() * 1e3,
+                            response: resp,
+                        });
+                    }
+                    Err(_) => break,
+                }
             }
-            Err(_) => break,
+        });
+        for &(i, at) in schedule {
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            let req = AllocRequest {
+                id: format!("c{conn}-r{i}"),
+                graph: graphs[i % graphs.len()].clone(),
+                source_rate: None,
+                devices: None,
+            };
+            out.write_all(req.to_line().as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
         }
-    }
-    Ok(())
+        out.shutdown(std::net::Shutdown::Write)?;
+        reader.join().expect("bench reader panicked");
+        Ok(())
+    })
 }
 
 /// `Duration * usize` without floating-point drift across thousands of

@@ -39,7 +39,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg_core::checkpoint::Checkpoint;
 use spg_core::policy::{CoarseningPolicy, DecodeMode};
-use spg_core::{rollout, CoarsePlacer, CoarsenModel, MetisCoarsePlacer};
+use spg_core::{
+    rollout, BatchUnion, CoarsePlacer, CoarsenModel, InferenceScratch, MetisCoarsePlacer,
+};
 use spg_graph::wire::{parse_request, AllocRequest, AllocResponse, WireError, WireRequest};
 use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
 use spg_obs::TelemetrySink;
@@ -97,6 +99,13 @@ pub struct ServeReport {
     pub cache_hits: u64,
     /// Responses that required fresh inference.
     pub cache_misses: u64,
+    /// Wall time spent in feature extraction + model forward (ns).
+    pub encode_ns: u64,
+    /// Wall time spent in decode → place → simulate (ns).
+    pub rollout_ns: u64,
+    /// Batches whose disjoint-union topology was reused from the
+    /// fingerprint-keyed [`BatchUnion`] cache.
+    pub union_cache_hits: u64,
 }
 
 /// One unit of queued work: a validated request plus where to answer.
@@ -362,6 +371,12 @@ fn batch_loop(
     let policy = CoarseningPolicy::from_config(&model.config);
     let placer = MetisCoarsePlacer::new(cfg.seed);
     let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
+    // Tape-free inference state, reused across batches: the scratch arena
+    // reaches steady-state allocation-free forwards, and the union builder
+    // skips topology rebuilds when consecutive batches carry identical
+    // fingerprints.
+    let mut union = BatchUnion::new();
+    let mut scratch = InferenceScratch::new();
     let mut report = ServeReport::default();
     let timeout = Duration::from_millis(cfg.request_timeout_ms);
     let workers = cfg.workers.clamp(1, rollout::default_workers());
@@ -445,6 +460,7 @@ fn batch_loop(
         }
 
         // ONE forward pass over the disjoint union of the unique graphs.
+        let encode_start = Instant::now();
         let (prepared, probs) = {
             let _span = sink.span("serve.encode");
             let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
@@ -468,12 +484,18 @@ fn batch_loop(
                     .zip(&prepared)
                     .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
                     .collect();
-                model.predict_probs_batch(&items)
+                // The request fingerprint keys the union cache: it covers
+                // topology, devices, and rate — everything the features
+                // are derived from.
+                let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
+                model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
             };
             (prepared, probs)
         };
+        report.encode_ns += encode_start.elapsed().as_nanos() as u64;
 
         // Fan decode → place → simulate over the deterministic pool.
+        let rollout_start = Instant::now();
         let results: Vec<(Vec<u32>, f64)> = {
             let _span = sink.span("serve.rollout");
             let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
@@ -494,6 +516,7 @@ fn batch_loop(
                 (placement.as_slice().to_vec(), relative)
             })
         };
+        report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
 
         for (job, &slot) in todo.iter().zip(&slot_of) {
             let (placement, relative) = &results[slot];
@@ -511,7 +534,10 @@ fn batch_loop(
 
     report.cache_hits = cache.hits();
     report.cache_misses = cache.misses();
+    report.union_cache_hits = union.cache_hits();
     sink.counter("serve.responses", report.responses);
     sink.counter("serve.errors", report.errors);
+    sink.counter("serve.encode_ns", report.encode_ns);
+    sink.counter("serve.rollout_ns", report.rollout_ns);
     report
 }

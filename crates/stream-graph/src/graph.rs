@@ -339,6 +339,20 @@ impl StreamGraph {
         (0..self.ops.len() as u32).map(NodeId)
     }
 
+    /// Forward CSR adjacency (edges bucketed by source node, ascending
+    /// edge ids per bucket). The tape-free inference path pools over this
+    /// directly instead of re-deriving adjacency from the edge list.
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_adj
+    }
+
+    /// Reverse CSR adjacency (edges bucketed by destination node).
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_adj
+    }
+
     /// `(neighbour, edge)` pairs for outgoing edges of `v`.
     pub fn out_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         self.out_adj

@@ -44,8 +44,10 @@ echo "kill-and-resume smoke OK"
 # requests from the open-loop load generator, and require that every
 # response parsed, identical requests got bitwise-identical placements
 # (bench-serve exits nonzero otherwise), and the shutdown command drained
-# the server to a clean exit 0.
+# the server to a clean exit 0. The load matches the checked-in
+# BENCH_serve.json config so the perf gate below compares like with like.
 "$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+    --metrics "$SMOKE_DIR/serve_metrics.jsonl" \
     > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 ADDR=""
@@ -59,7 +61,25 @@ if [ -z "$ADDR" ]; then
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
-"$SPG" bench-serve --addr "$ADDR" --connections 4 --requests 24 \
-    --graphs 6 --rate 100 --shutdown --out "$SMOKE_DIR/bench_serve.json"
+"$SPG" bench-serve --addr "$ADDR" --connections 4 --requests 64 \
+    --graphs 8 --rate 200 --seed 0 --shutdown \
+    --serve-metrics "$SMOKE_DIR/serve_metrics.jsonl" \
+    --out "$SMOKE_DIR/bench_serve.json"
 wait "$SERVE_PID"
 echo "serve smoke OK"
+
+# Perf-regression gate: re-measure the criterion microbenches (fast
+# sampling) plus the serve latency above, then compare against the
+# checked-in baselines. More than 25% slower on any tracked metric fails
+# the gate on multi-core machines; on 1-core containers (or with
+# SPG_PERF_STRICT=0) it only warns, because single-core microbench noise
+# would make a hard gate flaky. SPG_PERF_STRICT=1 always enforces.
+GATE=target/release/perf_gate
+cp BENCH_train.json "$SMOKE_DIR/baseline_train.json"
+SPG_BENCH_FAST=1 cargo bench -q -p spg-bench --bench train_epoch
+mv BENCH_train.json "$SMOKE_DIR/new_train.json"
+cp "$SMOKE_DIR/baseline_train.json" BENCH_train.json
+"$GATE" --baseline BENCH_train.json --new "$SMOKE_DIR/new_train.json"
+"$GATE" --baseline BENCH_serve.json --new "$SMOKE_DIR/bench_serve.json" \
+    --metric latency_p50_ms --metric latency_p99_ms
+echo "perf gate OK"

@@ -16,8 +16,8 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::cli::{
-    AllocateArgs, BenchServeArgs, CliError, Command, EvaluateArgs, GenerateArgs, ReportArgs,
-    ServeArgs, TrainArgs,
+    AllocateArgs, BenchMatmulArgs, BenchServeArgs, CliError, Command, EvaluateArgs, GenerateArgs,
+    ReportArgs, ServeArgs, TrainArgs,
 };
 use spg::eval::evaluate_allocator;
 use spg::gen::DatasetSpec;
@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         Command::Report(args) => report(args),
         Command::Serve(args) => serve(args),
         Command::BenchServe(args) => bench_serve(args),
+        Command::BenchMatmul(args) => bench_matmul(args),
     }
 }
 
@@ -347,6 +348,13 @@ fn serve(args: ServeArgs) -> ExitCode {
                 report.cache_hits,
                 report.cache_misses
             );
+            println!(
+                "time split: encode {:.3} ms, rollout {:.3} ms \
+                 ({} union cache hits)",
+                report.encode_ns as f64 / 1e6,
+                report.rollout_ns as f64 / 1e6,
+                report.union_cache_hits
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -365,6 +373,7 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
         seed: args.seed,
         rate: args.rate,
         shutdown: args.shutdown,
+        serve_metrics: args.serve_metrics,
     };
     let report = match spg::serve::run_bench(&cfg) {
         Ok(report) => report,
@@ -389,6 +398,9 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
         report.latency_p50_ms,
         report.latency_p99_ms
     );
+    if let (Some(e), Some(r)) = (report.encode_ms, report.rollout_ms) {
+        println!("server time split: encode {e:.1} ms, rollout {r:.1} ms");
+    }
     println!("report written to {}", args.out.display());
     if !report.consistent {
         eprintln!("FAIL: identical requests received different placements");
@@ -398,6 +410,47 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
         eprintln!("FAIL: no successful responses");
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+fn bench_matmul(args: BenchMatmulArgs) -> ExitCode {
+    use spg::nn::{MatmulMode, Matrix};
+    let (n, k, m) = (args.n, args.k, args.m);
+    let mode = if args.fast {
+        MatmulMode::Fast
+    } else {
+        MatmulMode::Strict
+    };
+    // The train-epoch bench's deterministic fill, generalised to ragged
+    // shapes: small signed values so products stay well-conditioned.
+    let a = Matrix::from_vec(
+        n,
+        k,
+        (0..n * k).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect(),
+    );
+    let b = Matrix::from_vec(
+        k,
+        m,
+        (0..k * m).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect(),
+    );
+    let mut out = Matrix::zeros(n, m);
+    // Warm up: page in the buffers and settle the CPU-feature dispatch.
+    for _ in 0..3 {
+        a.matmul_into_mode(&b, &mut out, mode);
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..args.iters {
+        a.matmul_into_mode(&b, &mut out, mode);
+        std::hint::black_box(&out);
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / args.iters as f64;
+    let gflops = 2.0 * (n as f64) * (k as f64) * (m as f64) / ns_per_iter;
+    println!(
+        "matmul {n}x{k}x{m} ({}): {ns_per_iter:.0} ns/iter, {gflops:.2} GFLOP/s \
+         over {} iters",
+        if args.fast { "fast" } else { "strict" },
+        args.iters
+    );
     ExitCode::SUCCESS
 }
 

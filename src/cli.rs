@@ -28,6 +28,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// `spg bench-serve` — open-loop load generator against `spg serve`.
     BenchServe(BenchServeArgs),
+    /// `spg bench-matmul` — matmul kernel microbenchmark.
+    BenchMatmul(BenchMatmulArgs),
 }
 
 /// Arguments of `spg generate`.
@@ -150,6 +152,23 @@ pub struct BenchServeArgs {
     pub shutdown: bool,
     /// Where to write the JSON report.
     pub out: PathBuf,
+    /// Telemetry JSONL file written by the server (`spg serve --metrics`);
+    /// after shutdown the report extracts the encode/rollout time split
+    /// from it.
+    pub serve_metrics: Option<PathBuf>,
+}
+
+/// Arguments of `spg bench-matmul`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMatmulArgs {
+    /// Problem shape: `[n x k]·[k x m]`.
+    pub n: usize,
+    pub k: usize,
+    pub m: usize,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Benchmark the fast-math kernels instead of the strict default.
+    pub fast: bool,
 }
 
 /// Why parsing stopped without producing a [`Command`].
@@ -183,6 +202,7 @@ pub fn general_help() -> String {
      \x20 report     summarize a training telemetry JSONL file\n\
      \x20 serve      run the long-lived allocation service (JSONL over TCP)\n\
      \x20 bench-serve  open-loop load generator against a running `spg serve`\n\
+     \x20 bench-matmul matmul kernel microbenchmark (strict or fast-math)\n\
      \n\
      run `spg <command> --help` for command options"
         .to_string()
@@ -311,7 +331,23 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --seed S         graph-generator seed (default 0)\n\
              \x20 --rate R         offered load in req/s (default 200)\n\
              \x20 --shutdown       send a shutdown command after the run\n\
-             \x20 --out FILE       report path (default BENCH_serve.json)"
+             \x20 --out FILE       report path (default BENCH_serve.json)\n\
+             \x20 --serve-metrics FILE\n\
+             \x20                  telemetry JSONL written by `spg serve --metrics FILE`;\n\
+             \x20                  after shutdown, fold the server's encode/rollout\n\
+             \x20                  time split into the report"
+            .to_string(),
+        "bench-matmul" => "usage: spg bench-matmul [options]\n\
+             \n\
+             Time the f32 matmul kernel at a given shape and print ns/iter\n\
+             and GFLOP/s. Strict (bitwise-deterministic) kernels by default;\n\
+             --fast times the FMA/reassociated variants instead.\n\
+             \n\
+             options:\n\
+             \x20 --shape NxKxM  problem shape [n x k]·[k x m]; `NxK` means\n\
+             \x20                NxKxN, a bare `N` means NxNxN (default 128)\n\
+             \x20 --iters N      timed iterations (default 50)\n\
+             \x20 --fast         use the fast-math kernels"
             .to_string(),
         other => panic!("no help for unknown command `{other}`"),
     }
@@ -396,6 +432,7 @@ impl Command {
             "report" => Self::parse_report(rest),
             "serve" => Self::parse_serve(rest),
             "bench-serve" => Self::parse_bench_serve(rest),
+            "bench-matmul" => Self::parse_bench_matmul(rest),
             other => Err(CliError::Usage(format!(
                 "unknown command `{other}`\n\n{}",
                 general_help()
@@ -602,6 +639,7 @@ impl Command {
         let (mut connections, mut requests, mut graphs) = (4usize, 64usize, 8usize);
         let (mut seed, mut rate, mut shutdown) = (0u64, 200.0f64, false);
         let mut out = PathBuf::from("BENCH_serve.json");
+        let mut serve_metrics = None;
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("bench-serve"))),
@@ -625,6 +663,7 @@ impl Command {
                 }
                 "--shutdown" => shutdown = true,
                 "--out" => out = PathBuf::from(a.value("out")?),
+                "--serve-metrics" => serve_metrics = Some(PathBuf::from(a.value("serve-metrics")?)),
                 other => return Err(a.unknown(other)),
             }
         }
@@ -637,6 +676,61 @@ impl Command {
             rate,
             shutdown,
             out,
+            serve_metrics,
+        }))
+    }
+
+    fn parse_bench_matmul(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("bench-matmul", rest);
+        let (mut n, mut k, mut m) = (128usize, 128usize, 128usize);
+        let (mut iters, mut fast) = (50usize, false);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("bench-matmul"))),
+                "--shape" => {
+                    let text = a.value("shape")?;
+                    let dims: Vec<usize> = text
+                        .split('x')
+                        .map(|d| parse_num("bench-matmul", "shape", d))
+                        .collect::<Result<_, _>>()?;
+                    (n, k, m) = match dims.as_slice() {
+                        [s] => (*s, *s, *s),
+                        [n, k] => (*n, *k, *n),
+                        [n, k, m] => (*n, *k, *m),
+                        _ => {
+                            return Err(CliError::Usage(format!(
+                                "invalid value `{text}` for --shape: expected N, NxK or \
+                                 NxKxM (see `spg bench-matmul --help`)"
+                            )))
+                        }
+                    };
+                    if n == 0 || k == 0 || m == 0 {
+                        return Err(CliError::Usage(format!(
+                            "invalid value `{text}` for --shape: dimensions must be \
+                             positive (see `spg bench-matmul --help`)"
+                        )));
+                    }
+                }
+                "--iters" => {
+                    iters = parse_num("bench-matmul", "iters", a.value("iters")?)?;
+                    if iters == 0 {
+                        return Err(CliError::Usage(
+                            "invalid value `0` for --iters: must be positive \
+                             (see `spg bench-matmul --help`)"
+                                .to_string(),
+                        ));
+                    }
+                }
+                "--fast" => fast = true,
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::BenchMatmul(BenchMatmulArgs {
+            n,
+            k,
+            m,
+            iters,
+            fast,
         }))
     }
 }
@@ -877,7 +971,7 @@ mod tests {
 
         let Command::BenchServe(b) = parse(
             "bench-serve --addr h:1 --connections 2 --requests 10 --graphs 3 \
-             --seed 9 --rate 50 --shutdown --out r.json",
+             --seed 9 --rate 50 --shutdown --out r.json --serve-metrics m.jsonl",
         )
         .unwrap() else {
             panic!()
@@ -885,6 +979,7 @@ mod tests {
         assert_eq!((b.connections, b.requests, b.graphs), (2, 10, 3));
         assert_eq!((b.seed, b.rate, b.shutdown), (9, 50.0, true));
         assert_eq!(b.out, PathBuf::from("r.json"));
+        assert_eq!(b.serve_metrics, Some(PathBuf::from("m.jsonl")));
 
         let Err(CliError::Usage(msg)) = parse("bench-serve --addr h:1 --rate -3") else {
             panic!()
@@ -894,6 +989,43 @@ mod tests {
             panic!()
         };
         assert!(msg.contains("--addr is required"), "{msg}");
+    }
+
+    #[test]
+    fn bench_matmul_shapes_and_errors() {
+        let Command::BenchMatmul(b) = parse("bench-matmul").unwrap() else {
+            panic!()
+        };
+        assert_eq!((b.n, b.k, b.m), (128, 128, 128));
+        assert_eq!((b.iters, b.fast), (50, false));
+
+        let Command::BenchMatmul(b) = parse("bench-matmul --shape 64").unwrap() else {
+            panic!()
+        };
+        assert_eq!((b.n, b.k, b.m), (64, 64, 64));
+        let Command::BenchMatmul(b) = parse("bench-matmul --shape 320x28").unwrap() else {
+            panic!()
+        };
+        assert_eq!((b.n, b.k, b.m), (320, 28, 320));
+        let Command::BenchMatmul(b) =
+            parse("bench-matmul --shape 320x28x24 --iters 7 --fast").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((b.n, b.k, b.m), (320, 28, 24));
+        assert_eq!((b.iters, b.fast), (7, true));
+
+        for bad in [
+            "bench-matmul --shape 0x3x3",
+            "bench-matmul --shape 1x2x3x4",
+            "bench-matmul --shape axb",
+            "bench-matmul --iters 0",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(CliError::Usage(_))),
+                "`{bad}` should be a usage error"
+            );
+        }
     }
 
     #[test]

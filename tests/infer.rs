@@ -1,0 +1,113 @@
+//! Tape-free inference must be **bitwise** identical to the autodiff-tape
+//! forward — the optimisation contract of the serve path. Checked over a
+//! generated corpus spanning the paper settings, plus the degenerate pins
+//! (edgeless graph, single node, single edge), with one scratch arena and
+//! one union builder reused across the whole corpus the way the serve
+//! batcher reuses them.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::{Channel, ClusterSpec, GraphFeatures, Operator, StreamGraph, StreamGraphBuilder};
+use spg::model::{BatchUnion, CoarsenConfig, CoarsenModel, InferenceScratch};
+use spg::nn::{stable_sigmoid, Tape};
+
+/// Collapse probabilities via the training path: tape forward, then the
+/// same stable sigmoid over the logit values.
+fn tape_probs(model: &CoarsenModel, graph: &StreamGraph, feats: &GraphFeatures) -> Vec<f32> {
+    let mut tape = Tape::new();
+    match model.forward(&mut tape, graph, feats) {
+        Some(logits) => tape
+            .value(logits)
+            .data
+            .iter()
+            .map(|&x| stable_sigmoid(x))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+fn corpus() -> Vec<(StreamGraph, ClusterSpec, f64)> {
+    let mut graphs = Vec::new();
+    for setting in [Setting::Small, Setting::Medium, Setting::Large] {
+        let spec = DatasetSpec::scaled_down(setting);
+        let cluster = spec.cluster();
+        for seed in 0..3u64 {
+            graphs.push((
+                spg::gen::generate_graph(&spec, seed),
+                cluster,
+                spec.source_rate,
+            ));
+        }
+    }
+    // Pins: a single node (no edges), an edgeless pair, a single edge.
+    let cluster = ClusterSpec::paper_medium(3);
+    let mut one = StreamGraphBuilder::new();
+    one.add_node(Operator::new(5.0));
+    graphs.push((one.finish().unwrap(), cluster, 1e4));
+    let mut pair = StreamGraphBuilder::new();
+    pair.add_node(Operator::new(1.0));
+    pair.add_node(Operator::new(2.0));
+    graphs.push((pair.finish().unwrap(), cluster, 1e4));
+    let mut edge = StreamGraphBuilder::new();
+    let a = edge.add_node(Operator::new(100.0));
+    let b = edge.add_node(Operator::new(200.0));
+    edge.add_edge(a, b, Channel::new(10.0)).unwrap();
+    graphs.push((edge.finish().unwrap(), cluster, 1e4));
+    graphs
+}
+
+#[test]
+fn tape_free_forward_is_bitwise_identical_to_tape() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut scratch = InferenceScratch::new();
+    for (i, (graph, cluster, rate)) in corpus().iter().enumerate() {
+        let feats = GraphFeatures::extract(graph, cluster, *rate);
+        let expected = tape_probs(&model, graph, &feats);
+        let got = model.infer_probs(graph, &feats, &mut scratch);
+        assert_eq!(got.len(), graph.num_edges(), "graph {i} length");
+        assert_eq!(
+            got.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "graph {i} ({} nodes, {} edges): tape-free probs diverged",
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+    }
+}
+
+#[test]
+fn batched_union_with_key_cache_is_bitwise_identical() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let corpus = corpus();
+    let feats: Vec<GraphFeatures> = corpus
+        .iter()
+        .map(|(g, c, r)| GraphFeatures::extract(g, c, *r))
+        .collect();
+    let items: Vec<(&StreamGraph, &GraphFeatures)> =
+        corpus.iter().map(|(g, _, _)| g).zip(&feats).collect();
+    let keys: Vec<u64> = (0..items.len() as u64).collect();
+
+    let mut union = BatchUnion::new();
+    let mut scratch = InferenceScratch::new();
+    let first = model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items);
+    // Identical keys on the next batch: the union rebuild is skipped...
+    let second = model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items);
+    assert!(
+        union.cache_hits() > 0,
+        "identical batch must hit the key cache"
+    );
+    // ...and the results must still match the solo tape forward exactly.
+    for (i, ((graph, cluster, rate), probs)) in corpus.iter().zip(&second).enumerate() {
+        let feats = GraphFeatures::extract(graph, cluster, *rate);
+        let expected = tape_probs(&model, graph, &feats);
+        assert_eq!(
+            probs.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            expected.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "graph {i}: cached-union batch diverged from tape"
+        );
+    }
+    assert_eq!(first, second, "key-cached batch changed results");
+}

@@ -93,6 +93,20 @@ pub trait Deserialize: Sized {
 
 // ---- primitive impls ----
 
+// Identity impls so callers can (de)serialize into the dynamic `Value`
+// itself — e.g. tooling that inspects JSON files of unknown shape.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
