@@ -6,9 +6,11 @@
 //! * `BENCH_train.json` style: an object of `"<bench id>": {"ns_per_iter":
 //!   N, ...}` rows. Every id present in both files is compared on
 //!   `ns_per_iter` (lower is better).
-//! * `BENCH_serve.json` style: one flat object; `--metric NAME` selects
-//!   which top-level numeric fields to compare (lower is better), e.g.
-//!   `--metric latency_p50_ms`.
+//! * `BENCH_serve.json` style: `--metric NAME` selects which numeric
+//!   fields to compare (lower is better), e.g. `--metric
+//!   latency_p50_ms`. Both the legacy flat report and the sweep format
+//!   (an object of `"r<replicas>c<connections>"` rows) are accepted;
+//!   sweep files compare each metric per shared row.
 //!
 //! A metric that got more than `--threshold` percent slower (default 25)
 //! is a regression. Microbench timings on a loaded 1-core CI container
@@ -107,18 +109,52 @@ fn comparisons(
             }
         }
     } else {
-        for name in &args.metrics {
-            let b = base
-                .field(name)
-                .ok()
-                .and_then(num)
-                .ok_or_else(|| format!("{}: no numeric `{name}`", args.baseline.display()))?;
-            let n = fresh
-                .field(name)
-                .ok()
-                .and_then(num)
-                .ok_or_else(|| format!("{}: no numeric `{name}`", args.new.display()))?;
-            rows.push((name.clone(), b, n));
+        // `--metric` mode. Serve reports come in two shapes: one flat
+        // report object, or (since replica sweeps) an object of
+        // `"r<replicas>c<connections>"` rows. Row style compares every
+        // row shared by both files on each metric; a row missing from
+        // the new results warns instead of failing, since a sweep may
+        // be trimmed on slow machines.
+        let row_style = matches!(base, Value::Object(entries)
+            if !entries.is_empty()
+                && entries.iter().all(|(_, v)| matches!(v, Value::Object(_))));
+        if row_style {
+            let Value::Object(base_rows) = base else {
+                unreachable!("row_style implies an object")
+            };
+            for (id, row) in base_rows {
+                for name in &args.metrics {
+                    let b = row.field(name).ok().and_then(num).ok_or_else(|| {
+                        format!(
+                            "{}: row `{id}` has no numeric `{name}`",
+                            args.baseline.display()
+                        )
+                    })?;
+                    match fresh
+                        .field(id)
+                        .ok()
+                        .and_then(|r| r.field(name).ok().and_then(num))
+                    {
+                        Some(n) => rows.push((format!("{id}.{name}"), b, n)),
+                        None => {
+                            eprintln!("perf_gate: WARNING: `{id}.{name}` missing from new results")
+                        }
+                    }
+                }
+            }
+        } else {
+            for name in &args.metrics {
+                let b =
+                    base.field(name).ok().and_then(num).ok_or_else(|| {
+                        format!("{}: no numeric `{name}`", args.baseline.display())
+                    })?;
+                let n = fresh
+                    .field(name)
+                    .ok()
+                    .and_then(num)
+                    .ok_or_else(|| format!("{}: no numeric `{name}`", args.new.display()))?;
+                rows.push((name.clone(), b, n));
+            }
         }
     }
     if rows.is_empty() {

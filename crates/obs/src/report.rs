@@ -231,6 +231,46 @@ impl Summary {
             }
         }
 
+        // Serving replicas: one row per shard when a cluster-mode serve
+        // run logged per-replica counters (absent for training runs and
+        // pre-replica metrics files, so those reports stay unchanged).
+        let shards: Vec<u32> = {
+            let mut s: Vec<u32> = self
+                .counters
+                .iter()
+                .filter_map(|(n, _)| {
+                    n.strip_prefix("serve.replica.")?
+                        .strip_suffix(".responses")?
+                        .parse()
+                        .ok()
+                })
+                .collect();
+            s.sort_unstable();
+            s
+        };
+        if !shards.is_empty() {
+            let _ = writeln!(out, "\nserving replicas ({} shard(s)):", shards.len());
+            for shard in shards {
+                let count = |field: &str| {
+                    self.counter(&format!("serve.replica.{shard}.{field}"))
+                        .unwrap_or(0)
+                };
+                let hit_rate = self
+                    .gauge_series(&format!("serve.replica.{shard}.shard_hit_rate"))
+                    .and_then(|s| s.last())
+                    .map(|r| format!("{:.1}%", 100.0 * r))
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "  shard {shard}: {} responses  {} errors  {} batches  \
+                     cache hit rate {hit_rate}",
+                    count("responses"),
+                    count("errors"),
+                    count("batches"),
+                );
+            }
+        }
+
         // Rollout occupancy: busy sample time vs. workers * rollout wall.
         if let (Some(h), Some(span), Some(workers)) = (
             self.hists
@@ -342,6 +382,37 @@ mod tests {
         assert!(text.contains("reward cache hit rate: 80.0%"), "{text}");
         assert!(text.contains("reward.mean curve (2 epochs)"), "{text}");
         assert!(text.contains("rollout occupancy"), "{text}");
+    }
+
+    #[test]
+    fn serving_replicas_section_renders_only_for_cluster_runs() {
+        let lines = sample_lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        assert!(!s.render().contains("serving replicas"));
+
+        let sink = TelemetrySink::memory();
+        sink.counter("serve.replica.1.responses", 5);
+        sink.counter("serve.replica.1.batches", 2);
+        sink.gauge("serve.replica.1.shard_hit_rate", 0.4);
+        sink.counter("serve.replica.0.responses", 8);
+        sink.counter("serve.replica.0.errors", 1);
+        sink.counter("serve.replica.0.batches", 3);
+        let lines = sink.lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        let text = s.render();
+        assert!(text.contains("serving replicas (2 shard(s))"), "{text}");
+        // Shards render sorted, with missing fields defaulting sanely.
+        let s0 = text.find("shard 0:").expect("shard 0 row");
+        let s1 = text.find("shard 1:").expect("shard 1 row");
+        assert!(s0 < s1, "{text}");
+        assert!(
+            text.contains("shard 0: 8 responses  1 errors  3 batches  cache hit rate -"),
+            "{text}"
+        );
+        assert!(
+            text.contains("shard 1: 5 responses  0 errors  2 batches  cache hit rate 40.0%"),
+            "{text}"
+        );
     }
 
     #[test]

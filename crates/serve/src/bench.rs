@@ -24,6 +24,10 @@ use std::time::{Duration, Instant};
 pub struct BenchConfig {
     /// Server address (`host:port`).
     pub addr: String,
+    /// Replica count the *server* is running with — recorded in the
+    /// report so sweep rows are self-describing (the load generator
+    /// itself is replica-agnostic).
+    pub replicas: usize,
     /// Concurrent client connections.
     pub connections: usize,
     /// Total requests across all connections.
@@ -47,6 +51,7 @@ impl Default for BenchConfig {
     fn default() -> Self {
         Self {
             addr: String::new(),
+            replicas: 1,
             connections: 4,
             requests: 64,
             graphs: 8,
@@ -61,6 +66,10 @@ impl Default for BenchConfig {
 /// What the load generator measured.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct BenchReport {
+    /// Server replica count this row was measured against.
+    pub replicas: usize,
+    /// Concurrent client connections used.
+    pub connections: usize,
     /// Requests sent.
     pub requests: usize,
     /// Successful allocation responses.
@@ -171,6 +180,8 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
         }
     }
     Ok(BenchReport {
+        replicas: cfg.replicas,
+        connections,
         requests: cfg.requests,
         ok,
         errors,
@@ -274,6 +285,7 @@ fn run_connection(
                 graph: graphs[i % graphs.len()].clone(),
                 source_rate: None,
                 devices: None,
+                v: None,
             };
             out.write_all(req.to_line().as_bytes())?;
             out.write_all(b"\n")?;

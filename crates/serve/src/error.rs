@@ -1,0 +1,145 @@
+//! The one place serve-side failures are named.
+//!
+//! Every error the server can put on the wire is a [`ServeError`]
+//! variant; the wire spelling comes from converting to
+//! [`WireError`], whose [`WireError::CODES`] table is the single source
+//! of truth for the names. `server.rs`, `router.rs`, `replica.rs`, and
+//! `bench.rs` construct these instead of ad-hoc strings, so a grep for
+//! `"overloaded"` finds exactly one definition.
+
+use spg_graph::wire::{ErrorResponse, WireError};
+use std::fmt;
+
+/// A request-level failure with enough context to render the wire
+/// detail message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Not valid JSON / not a valid request (detail from the parser).
+    BadRequest(String),
+    /// Structurally or numerically invalid graph.
+    InvalidGraph(String),
+    /// The request out-waited its deadline in the queue.
+    Timeout { waited_ms: u128, deadline_ms: u64 },
+    /// The shard's bounded queue was full — backpressure, not buffering.
+    Overloaded { queue_capacity: usize },
+    /// The server is draining; no new work is admitted.
+    Draining,
+    /// A server-side invariant broke (detail is diagnostic only).
+    Internal(String),
+    /// The request named a protocol version this server does not speak.
+    UnsupportedVersion(String),
+}
+
+impl ServeError {
+    /// The wire-protocol error, carrying the rendered detail message.
+    pub fn to_wire(&self) -> WireError {
+        match self {
+            ServeError::BadRequest(d) => WireError::BadRequest(d.clone()),
+            ServeError::InvalidGraph(d) => WireError::InvalidGraph(d.clone()),
+            ServeError::Timeout {
+                waited_ms,
+                deadline_ms,
+            } => WireError::Timeout(format!("queued {waited_ms} ms, deadline {deadline_ms} ms")),
+            ServeError::Overloaded { queue_capacity } => {
+                WireError::Overloaded(format!("request queue full ({queue_capacity} pending)"))
+            }
+            ServeError::Draining => WireError::Draining,
+            ServeError::Internal(d) => WireError::Internal(d.clone()),
+            ServeError::UnsupportedVersion(d) => WireError::UnsupportedVersion(d.clone()),
+        }
+    }
+
+    /// The stable wire name (`bad-request`, `overloaded`, ...).
+    pub fn code(&self) -> &'static str {
+        self.to_wire().code()
+    }
+
+    /// The error response line to send back for request `id`.
+    pub fn response(&self, id: Option<String>) -> ErrorResponse {
+        self.to_wire().response(id)
+    }
+}
+
+impl fmt::Display for ServeError {
+    /// Displays as `<wire name>: <detail>` — the name is exactly what
+    /// goes on the wire.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_wire())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<ServeError> {
+        vec![
+            ServeError::BadRequest("x".into()),
+            ServeError::InvalidGraph("x".into()),
+            ServeError::Timeout {
+                waited_ms: 6000,
+                deadline_ms: 5000,
+            },
+            ServeError::Overloaded { queue_capacity: 64 },
+            ServeError::Draining,
+            ServeError::Internal("x".into()),
+            ServeError::UnsupportedVersion("x".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_pinned_to_the_wire_names() {
+        let codes: Vec<&str> = all_variants().iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "bad-request",
+                "invalid-graph",
+                "timeout",
+                "overloaded",
+                "draining",
+                "internal",
+                "unsupported-version",
+            ]
+        );
+        // One variant per wire code: the enum and the wire table cannot
+        // drift apart silently.
+        assert_eq!(codes.len(), WireError::CODES.len());
+        for code in WireError::CODES {
+            assert!(codes.contains(&code), "no ServeError variant for `{code}`");
+        }
+    }
+
+    #[test]
+    fn display_leads_with_the_wire_name() {
+        for e in all_variants() {
+            let text = e.to_string();
+            assert!(
+                text.starts_with(e.code()),
+                "`{text}` must start with `{}`",
+                e.code()
+            );
+        }
+        assert_eq!(
+            ServeError::Timeout {
+                waited_ms: 6000,
+                deadline_ms: 5000
+            }
+            .to_string(),
+            "timeout: queued 6000 ms, deadline 5000 ms"
+        );
+        assert_eq!(
+            ServeError::Overloaded { queue_capacity: 64 }.to_string(),
+            "overloaded: request queue full (64 pending)"
+        );
+    }
+
+    #[test]
+    fn response_carries_the_request_id() {
+        let resp = ServeError::Draining.response(Some("req-9".into()));
+        assert_eq!(resp.id.as_deref(), Some("req-9"));
+        assert_eq!(resp.error, "draining");
+    }
+}

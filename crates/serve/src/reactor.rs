@@ -1,0 +1,276 @@
+//! Minimal readiness reactor: `poll(2)` without libc.
+//!
+//! The vendored-deps constraint leaves no FFI layer, so readiness
+//! notification is a raw `ppoll` syscall (inline asm on Linux
+//! x86_64/aarch64) over `#[repr(C)]` pollfd records — exactly the ABI
+//! structure the kernel reads. On any other target [`poll_fds`] degrades
+//! to a short sleep that reports every descriptor ready; all socket
+//! operations in this crate are nonblocking, so a spurious "ready" costs
+//! one `EWOULDBLOCK` and nothing else.
+//!
+//! [`WakePipe`] is the cross-thread wakeup primitive: replica threads
+//! hold a [`Waker`] (one byte written into a nonblocking socketpair) and
+//! the I/O loop keeps the read end in its poll set, so a completion
+//! produced mid-poll interrupts the wait instead of riding out the
+//! timeout.
+
+use std::io::{Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Readable data (or a hangup that reads as EOF).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always polled, only returned in `revents`).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Invalid descriptor.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set — field-for-field the kernel's
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+impl PollFd {
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// A read attempt will make progress (data, EOF, or a reportable
+    /// error).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// A write attempt will make progress (buffer space or an error the
+    /// write will surface).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR) != 0
+    }
+
+    /// The descriptor is dead: no read/write will ever succeed again.
+    pub fn failed(&self) -> bool {
+        self.revents & POLLNVAL != 0
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+#[repr(C)]
+struct Timespec {
+    sec: i64,
+    nsec: i64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_ppoll(fds: *mut PollFd, nfds: usize, timeout: *const Timespec) -> isize {
+    const SYS_PPOLL: usize = 271;
+    let ret: isize;
+    // ppoll(fds, nfds, timeout, sigmask=NULL, sigsetsize=0)
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") SYS_PPOLL as isize => ret,
+        in("rdi") fds,
+        in("rsi") nfds,
+        in("rdx") timeout,
+        in("r10") 0usize,
+        in("r8") 0usize,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_ppoll(fds: *mut PollFd, nfds: usize, timeout: *const Timespec) -> isize {
+    const SYS_PPOLL: usize = 73;
+    let ret: isize;
+    core::arch::asm!(
+        "svc #0",
+        inlateout("x0") fds as isize => ret,
+        in("x1") nfds,
+        in("x2") timeout,
+        in("x3") 0usize,
+        in("x4") 0usize,
+        in("x8") SYS_PPOLL,
+        options(nostack),
+    );
+    ret
+}
+
+/// Wait until at least one descriptor is ready (or the timeout lapses);
+/// returns how many entries have nonzero `revents`. `None` blocks
+/// indefinitely. An interrupting signal is reported as `Ok(0)` — callers
+/// re-poll on their next loop iteration anyway.
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+    const EINTR: isize = -4;
+    let ts = timeout.map(|t| Timespec {
+        sec: t.as_secs() as i64,
+        nsec: t.subsec_nanos() as i64,
+    });
+    let ts_ptr = ts
+        .as_ref()
+        .map_or(std::ptr::null(), |t| t as *const Timespec);
+    let ret = unsafe { sys_ppoll(fds.as_mut_ptr(), fds.len(), ts_ptr) };
+    match ret {
+        n if n >= 0 => Ok(n as usize),
+        EINTR => Ok(0),
+        errno => Err(std::io::Error::from_raw_os_error(-errno as i32)),
+    }
+}
+
+/// Portable fallback: sleep briefly, then report every descriptor ready
+/// for whatever it asked. Nonblocking reads/writes turn the false
+/// positives into cheap `EWOULDBLOCK`s, trading syscall efficiency for
+/// correctness on targets without the raw-syscall path.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+    let nap = timeout
+        .unwrap_or(Duration::from_millis(5))
+        .min(Duration::from_millis(5));
+    std::thread::sleep(nap);
+    for fd in fds.iter_mut() {
+        fd.revents = fd.events;
+    }
+    Ok(fds.len())
+}
+
+/// Self-wakeup channel for the poll loop: the read end lives in the poll
+/// set, [`Waker`]s write single bytes from other threads.
+pub struct WakePipe {
+    rx: UnixStream,
+    tx: UnixStream,
+}
+
+impl WakePipe {
+    pub fn new() -> std::io::Result<Self> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Self { rx, tx })
+    }
+
+    /// The descriptor to include (with [`POLLIN`]) in the poll set.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// An independent handle other threads can wake the loop with.
+    pub fn waker(&self) -> std::io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+
+    /// Consume pending wake bytes so the next poll blocks again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Wakes the poll loop; cheap to clone across threads, infallible to
+/// use (a full pipe already guarantees a pending wakeup).
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (&a).write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert!(n >= 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn poll_times_out_on_idle_descriptor() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let start = Instant::now();
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        // The fallback path reports spurious readiness; the syscall path
+        // must report nothing and actually wait.
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert_eq!(n, 0);
+            assert!(start.elapsed() >= Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_long_poll() {
+        let pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker().unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        let start = Instant::now();
+        poll_fds(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wake must interrupt the poll well before the timeout"
+        );
+        pipe.drain();
+        // Drained: an immediate re-poll with zero timeout sees nothing
+        // (syscall path only; the fallback always reports ready).
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            let n = poll_fds(&mut fds, Some(Duration::ZERO)).unwrap();
+            assert_eq!(n, 0, "drain must consume all pending wake bytes");
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn writable_is_reported_on_a_fresh_socket() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert!(n >= 1);
+        assert!(fds[0].writable());
+    }
+}

@@ -1,0 +1,259 @@
+//! One shared-nothing serving replica: model copy, batcher, LRU shard.
+//!
+//! A replica owns everything its shard needs — a [`CoarsenModel`]
+//! materialized from the (cloneable, `Send`) checkpoint, the reusable
+//! [`InferenceScratch`] arena, the [`BatchUnion`] topology cache, and an
+//! LRU shard — so replicas never share mutable state and never lock.
+//! The router consistent-hashes by content fingerprint, which means a
+//! repeat request always lands on the shard whose LRU already holds its
+//! placement.
+//!
+//! The loop is drain-by-construction: it blocks on the job channel and
+//! exits when every sender is gone. The router drops its senders the
+//! moment a shutdown request arrives, so `recv` yields the queued
+//! backlog (std channels deliver buffered messages before reporting
+//! disconnect), the replica answers it, and returns its
+//! [`ServeReport`] — no drain flags, no timeout ticks.
+//!
+//! Determinism is inherited, not re-argued: every stage is the same
+//! pure-per-request pipeline the single-threaded batcher ran (greedy
+//! decode ignores the RNG, the placer seeds from content, batched
+//! forwards equal solo forwards), so the replica count cannot change a
+//! single placement bit.
+
+use crate::error::ServeError;
+use crate::lru::LruCache;
+use crate::reactor::Waker;
+use crate::server::{ServeConfig, ServeReport};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_core::checkpoint::Checkpoint;
+use spg_core::policy::{CoarseningPolicy, DecodeMode};
+use spg_core::{rollout, BatchUnion, CoarsePlacer, InferenceScratch, MetisCoarsePlacer};
+use spg_graph::wire::AllocResponse;
+use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
+use spg_obs::TelemetrySink;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// A validated allocation request, routed to this replica's queue.
+pub(crate) struct Job {
+    pub id: String,
+    pub graph: StreamGraph,
+    pub devices: usize,
+    pub source_rate: f64,
+    pub fingerprint: u64,
+    /// Negotiated protocol version (1 unless the request said otherwise).
+    pub version: u64,
+    /// Which connection to deliver the answer to.
+    pub conn: u64,
+    pub enqueued: Instant,
+}
+
+/// A finished response line, heading back to the I/O loop.
+pub(crate) struct Completion {
+    pub conn: u64,
+    pub shard: u32,
+    pub line: String,
+}
+
+/// Run one replica until the router hangs up; returns this shard's
+/// share of the serve report.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replica_loop(
+    shard: u32,
+    checkpoint: Checkpoint,
+    rx: mpsc::Receiver<Job>,
+    done: mpsc::Sender<Completion>,
+    waker: Waker,
+    cfg: &ServeConfig,
+    base_cluster: ClusterSpec,
+    sink: &TelemetrySink,
+) -> ServeReport {
+    let model = checkpoint.into_model();
+    let policy = CoarseningPolicy::from_config(&model.config);
+    let placer = MetisCoarsePlacer::new(cfg.seed);
+    let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
+    let mut union = BatchUnion::new();
+    let mut scratch = InferenceScratch::new();
+    let mut report = ServeReport::default();
+    let timeout = Duration::from_millis(cfg.request_timeout_ms);
+    let workers = cfg.workers.clamp(1, rollout::default_workers());
+    let respond = |conn: u64, line: String| {
+        let _ = done.send(Completion { conn, shard, line });
+    };
+    let v2_fields = |version: u64| {
+        if version >= 2 {
+            (Some(2), Some(shard))
+        } else {
+            (None, None)
+        }
+    };
+
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < cfg.max_batch.max(1) {
+            match rx.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+
+        let _batch_span = sink.span("serve.batch");
+        sink.hist("serve.batch_size", jobs.len() as f64);
+        report.batches += 1;
+
+        // Deadline + queue-wait accounting, then the shard-LRU pass.
+        let now = Instant::now();
+        let mut todo: Vec<Job> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let waited = now.duration_since(job.enqueued);
+            sink.hist("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
+            if waited > timeout {
+                report.errors += 1;
+                let err = ServeError::Timeout {
+                    waited_ms: waited.as_millis(),
+                    deadline_ms: cfg.request_timeout_ms,
+                };
+                respond(job.conn, err.response(Some(job.id)).to_line());
+                continue;
+            }
+            if let Some((placement, relative)) = cache.get(job.fingerprint) {
+                report.responses += 1;
+                let (v, shard_tag) = v2_fields(job.version);
+                let resp = AllocResponse {
+                    id: job.id,
+                    placement: placement.clone(),
+                    relative_throughput: *relative,
+                    cached: true,
+                    v,
+                    shard: shard_tag,
+                };
+                respond(job.conn, resp.to_line());
+                continue;
+            }
+            todo.push(job);
+        }
+        if todo.is_empty() {
+            waker.wake();
+            continue;
+        }
+
+        // Identical requests sharing a batch share one computation.
+        let mut unique: Vec<usize> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(todo.len());
+        for (i, job) in todo.iter().enumerate() {
+            match unique
+                .iter()
+                .position(|&u| todo[u].fingerprint == job.fingerprint)
+            {
+                Some(slot) => slot_of.push(slot),
+                None => {
+                    unique.push(i);
+                    slot_of.push(unique.len() - 1);
+                }
+            }
+        }
+
+        // ONE forward pass over the disjoint union of the unique graphs.
+        let encode_start = Instant::now();
+        let (prepared, probs) = {
+            let _span = sink.span("serve.encode");
+            let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
+                .iter()
+                .map(|&i| {
+                    let job = &todo[i];
+                    // A `devices` override keeps the server cluster's
+                    // per-device MIPS and link bandwidth.
+                    let cluster = ClusterSpec {
+                        devices: job.devices,
+                        ..base_cluster
+                    };
+                    let rates = TupleRates::compute(&job.graph, job.source_rate);
+                    let feats = GraphFeatures::extract_with_rates(&job.graph, &cluster, &rates);
+                    (rates, feats, cluster)
+                })
+                .collect();
+            let probs = {
+                let items: Vec<(&StreamGraph, &GraphFeatures)> = unique
+                    .iter()
+                    .zip(&prepared)
+                    .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
+                    .collect();
+                // The request fingerprint keys the union cache: it covers
+                // topology, devices, and rate — everything the features
+                // are derived from.
+                let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
+                model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
+            };
+            (prepared, probs)
+        };
+        report.encode_ns += encode_start.elapsed().as_nanos() as u64;
+
+        // Fan decode → place → simulate over the deterministic pool.
+        let rollout_start = Instant::now();
+        let results: Vec<(Vec<u32>, f64)> = {
+            let _span = sink.span("serve.rollout");
+            let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
+            let (prepared, probs) = (&prepared, &probs);
+            rollout::run_ordered(workers, unique.len(), move |u| {
+                let job = &todo[unique[u]];
+                let (rates, _, cluster) = &prepared[u];
+                // Greedy decoding ignores the RNG; seed from content so
+                // even a non-greedy mode would stay request-deterministic.
+                let mut rng = ChaCha8Rng::seed_from_u64(job.fingerprint);
+                let decisions = policy.decode(&probs[u], DecodeMode::Greedy, &mut rng);
+                let coarsening = policy.apply(&job.graph, rates, cluster, &decisions, &probs[u]);
+                let coarse = placer.place_coarse(&coarsening.coarse, cluster);
+                let placement = Placement::lift(&coarse, &coarsening.node_map);
+                let relative = spg_sim::reward::relative_throughput_with_rates(
+                    &job.graph, cluster, &placement, rates,
+                );
+                (placement.as_slice().to_vec(), relative)
+            })
+        };
+        report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
+
+        for (job, &slot) in todo.iter().zip(&slot_of) {
+            let (placement, relative) = &results[slot];
+            report.responses += 1;
+            let (v, shard_tag) = v2_fields(job.version);
+            let resp = AllocResponse {
+                id: job.id.clone(),
+                placement: placement.clone(),
+                relative_throughput: *relative,
+                cached: false,
+                v,
+                shard: shard_tag,
+            };
+            respond(job.conn, resp.to_line());
+            cache.insert(job.fingerprint, (placement.clone(), *relative));
+        }
+        waker.wake();
+    }
+
+    report.cache_hits = cache.hits();
+    report.cache_misses = cache.misses();
+    report.union_cache_hits = union.cache_hits();
+    sink.counter(
+        &format!("serve.replica.{shard}.responses"),
+        report.responses,
+    );
+    sink.counter(&format!("serve.replica.{shard}.errors"), report.errors);
+    sink.counter(&format!("serve.replica.{shard}.batches"), report.batches);
+    sink.counter(
+        &format!("serve.replica.{shard}.cache_hits"),
+        report.cache_hits,
+    );
+    let lookups = report.cache_hits + report.cache_misses;
+    if lookups > 0 {
+        sink.gauge(
+            &format!("serve.replica.{shard}.shard_hit_rate"),
+            report.cache_hits as f64 / lookups as f64,
+        );
+    }
+    // One last wake: the I/O loop notices this sender is gone and can
+    // finish its drain bookkeeping.
+    waker.wake();
+    report
+}

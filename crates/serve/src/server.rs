@@ -1,71 +1,72 @@
-//! The allocation server: JSONL over TCP, batched inference, LRU cache,
-//! bounded queues, graceful drain.
+//! The allocation server: JSONL over TCP, sharded replicas, a
+//! readiness-driven I/O loop, graceful drain.
 //!
-//! ## Threading
+//! ## Architecture
 //!
-//! The model holds `Rc`-shared parameters and is not `Send`, so it never
-//! leaves the thread that calls [`Server::run`] — that thread *is* the
-//! batcher. Around it:
+//! One **I/O thread** (the caller of [`Server::run`]) runs the
+//! `router::io_loop` event loop: it polls the listener, the wake pipe,
+//! and every client socket through the `reactor`, assembles request
+//! lines from nonblocking reads, and rendezvous-hashes each valid
+//! request by its content fingerprint onto one of
+//! [`ServeConfig::replicas`] **replica threads**. Each replica is
+//! shared-nothing — its own `CoarsenModel` copy (materialized from the
+//! checkpoint), `InferenceScratch`, batcher, and LRU shard — so repeat
+//! graphs always land on a warm cache and replicas never contend on a
+//! lock (see `replica.rs` for the batch pipeline, `router.rs` for
+//! routing).
 //!
-//! * an **acceptor** thread polls the (non-blocking) listener and spawns
-//!   a reader/writer pair per connection;
-//! * each **reader** parses request lines, answers protocol errors
-//!   inline, and pushes valid work into one bounded `sync_channel` — a
-//!   full queue bounces the request with an `overloaded` error
-//!   (backpressure) instead of buffering without limit;
-//! * each **writer** drains an unbounded per-connection string channel,
-//!   so slow batches never block a reader;
-//! * the **batcher** collects up to [`ServeConfig::max_batch`] queued
-//!   requests, drops the ones whose deadline passed (`timeout` error),
-//!   answers repeats from the LRU, runs ONE encoder forward pass over
-//!   the union of the remaining graphs
-//!   ([`CoarsenModel::predict_probs_batch`]), and fans
-//!   decode → place → simulate over the deterministic rollout pool.
-//!
+//! Queues are bounded per replica; a full shard queue answers
+//! `overloaded` (backpressure) instead of buffering without limit.
 //! Every stage is pure per request, so identical requests produce
 //! bitwise-identical placements whether they hit the cache, share a
-//! batch, or arrive years apart.
+//! batch, run on different replica counts, or arrive years apart.
 //!
 //! ## Shutdown
 //!
-//! A `{"cmd":"shutdown"}` line sets the drain flag: the acceptor stops
-//! accepting, readers answer new allocation requests with `draining`,
-//! and the batcher exits once the queue stays empty — in-flight requests
-//! are answered, never dropped. [`Server::run`] then joins every thread
-//! and returns a [`ServeReport`].
+//! A `{"cmd":"shutdown"}` line makes the I/O loop drop its job senders:
+//! each replica finishes its queued backlog (channel buffers drain
+//! before disconnect is reported) and exits; late connects are answered
+//! with `draining`; the loop flushes every remaining response and
+//! [`Server::run`] joins the replicas into one aggregated
+//! [`ServeReport`] with the per-shard breakdown attached.
 
-use crate::lru::{request_fingerprint, LruCache};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use crate::reactor::WakePipe;
+use crate::replica::{replica_loop, Completion, Job};
+use crate::router::io_loop;
 use spg_core::checkpoint::Checkpoint;
-use spg_core::policy::{CoarseningPolicy, DecodeMode};
-use spg_core::{
-    rollout, BatchUnion, CoarsePlacer, CoarsenModel, InferenceScratch, MetisCoarsePlacer,
-};
-use spg_graph::wire::{parse_request, AllocRequest, AllocResponse, WireError, WireRequest};
-use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
+use spg_core::rollout;
+use spg_graph::ClusterSpec;
 use spg_obs::TelemetrySink;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
-use std::time::{Duration, Instant};
+use std::fmt;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
 
-/// Tuning of one [`Server`].
+/// Tuning of one [`Server`]. Construct via [`ServeConfig::builder`] (or
+/// start from [`ServeConfig::default`] and reconfigure through the
+/// builder); the struct is non-exhaustive so new knobs can be added
+/// without breaking callers.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; use port 0 for an OS-assigned port.
     pub addr: String,
-    /// Maximum requests folded into one encoder forward pass.
+    /// Shared-nothing replica workers, each with its own model copy,
+    /// batcher, and LRU shard.
+    pub replicas: usize,
+    /// Maximum requests folded into one encoder forward pass (per
+    /// replica).
     pub max_batch: usize,
-    /// Bound of the request queue; a full queue answers `overloaded`.
+    /// Bound of each replica's request queue; a full queue answers
+    /// `overloaded`.
     pub queue_capacity: usize,
     /// Per-request deadline covering queue wait (ms); exceeded requests
     /// are answered with a `timeout` error instead of stale work.
     pub request_timeout_ms: u64,
-    /// LRU capacity in placements (0 disables caching).
+    /// LRU capacity in placements per replica shard (0 disables
+    /// caching).
     pub cache_capacity: usize,
-    /// Rollout worker threads (clamped to available parallelism).
+    /// Rollout worker threads per replica (clamped to available
+    /// parallelism).
     pub workers: usize,
     /// Metis placer seed (placements stay content-deterministic for any
     /// fixed value).
@@ -76,6 +77,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            replicas: 1,
             max_batch: 8,
             queue_capacity: 64,
             request_timeout_ms: 5_000,
@@ -86,7 +88,128 @@ impl Default for ServeConfig {
     }
 }
 
-/// What a finished [`Server::run`] did.
+impl ServeConfig {
+    /// Start a fluent builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`ServeConfigBuilder::build`]: names the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The `ServeConfig` field that failed validation.
+    pub field: &'static str,
+    message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ServeConfig: `{}` {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent construction of a [`ServeConfig`], mirroring
+/// [`ReinforceTrainer::builder`]; every knob is optional, `build`
+/// validates the combination and names the bad field on failure.
+///
+/// ```
+/// # use spg_serve::ServeConfig;
+/// let cfg = ServeConfig::builder()
+///     .addr("127.0.0.1:0")
+///     .replicas(2)
+///     .max_batch(8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.replicas, 2);
+/// ```
+///
+/// [`ReinforceTrainer::builder`]: spg_core::ReinforceTrainer::builder
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (port 0 for an OS-assigned port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Number of shared-nothing replica workers.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.cfg.replicas = replicas;
+        self
+    }
+
+    /// Maximum requests per encoder forward pass.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Bound of each replica's request queue.
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Per-request deadline covering queue wait (ms).
+    pub fn request_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.request_timeout_ms = ms;
+        self
+    }
+
+    /// LRU capacity per replica shard (0 disables caching).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cfg.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Rollout worker threads per replica.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Metis placer seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.replicas == 0 {
+            return Err(ConfigError {
+                field: "replicas",
+                message: "must be >= 1 (got 0)".to_string(),
+            });
+        }
+        if cfg.max_batch == 0 {
+            return Err(ConfigError {
+                field: "max_batch",
+                message: "must be >= 1 (got 0)".to_string(),
+            });
+        }
+        if cfg.addr.is_empty() {
+            return Err(ConfigError {
+                field: "addr",
+                message: "must not be empty".to_string(),
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+/// What a finished [`Server::run`] did (aggregated over replicas; the
+/// per-shard breakdown is in [`ServeReport::per_replica`]).
 #[derive(Debug, Clone, Default)]
 pub struct ServeReport {
     /// Allocation requests answered successfully.
@@ -95,7 +218,7 @@ pub struct ServeReport {
     pub errors: u64,
     /// Encoder batches executed.
     pub batches: u64,
-    /// Responses served from the LRU.
+    /// Responses served from a shard LRU.
     pub cache_hits: u64,
     /// Responses that required fresh inference.
     pub cache_misses: u64,
@@ -104,19 +227,25 @@ pub struct ServeReport {
     /// Wall time spent in decode → place → simulate (ns).
     pub rollout_ns: u64,
     /// Batches whose disjoint-union topology was reused from the
-    /// fingerprint-keyed [`BatchUnion`] cache.
+    /// fingerprint-keyed `BatchUnion` cache.
     pub union_cache_hits: u64,
+    /// Per-replica reports, indexed by shard (empty inside the entries
+    /// themselves).
+    pub per_replica: Vec<ServeReport>,
 }
 
-/// One unit of queued work: a validated request plus where to answer.
-struct Job {
-    id: String,
-    graph: StreamGraph,
-    devices: usize,
-    source_rate: f64,
-    fingerprint: u64,
-    enqueued: Instant,
-    respond: mpsc::Sender<String>,
+impl ServeReport {
+    /// Sum `other` (one replica's share) into this aggregate.
+    fn absorb(&mut self, other: &ServeReport) {
+        self.responses += other.responses;
+        self.errors += other.errors;
+        self.batches += other.batches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.encode_ns += other.encode_ns;
+        self.rollout_ns += other.rollout_ns;
+        self.union_cache_hits += other.union_cache_hits;
+    }
 }
 
 /// A bound listener, ready to [`Server::run`].
@@ -139,8 +268,10 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until a shutdown request drains the queue. Blocks the
-    /// calling thread (which owns the model and runs the batcher).
+    /// Serve until a shutdown request drains every replica. Blocks the
+    /// calling thread (which runs the I/O event loop; replicas run on
+    /// scoped threads, each materializing its own model copy from the
+    /// checkpoint).
     ///
     /// `cluster` and `source_rate` are the defaults a request inherits
     /// when it omits its `devices` / `source_rate` overrides.
@@ -152,392 +283,120 @@ impl Server {
         sink: &TelemetrySink,
     ) -> std::io::Result<ServeReport> {
         let Server { listener, cfg } = self;
-        let model = checkpoint.into_model();
-        let draining = AtomicBool::new(false);
-        let protocol_errors = AtomicU64::new(0);
-        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+        let replicas = cfg.replicas.max(1);
+        let wake = WakePipe::new()?;
+        let wakers: Vec<_> = (0..replicas)
+            .map(|_| wake.waker())
+            .collect::<std::io::Result<_>>()?;
 
-        let report = crossbeam::thread::scope(|s| {
-            let acceptor = {
-                let tx = tx.clone();
-                let (listener, cfg, draining, protocol_errors, sink) =
-                    (&listener, &cfg, &draining, &protocol_errors, sink);
-                s.spawn(move |conn_scope| {
-                    accept_loop(
-                        conn_scope,
-                        listener,
-                        tx,
-                        cfg,
-                        draining,
-                        protocol_errors,
-                        sink,
-                        cluster,
-                        source_rate,
-                    )
+        let (done_tx, done_rx) = mpsc::channel::<Completion>();
+        let mut job_txs = Vec::with_capacity(replicas);
+        let mut job_rxs = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity.max(1));
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+
+        let report = std::thread::scope(|s| {
+            let handles: Vec<_> = job_rxs
+                .into_iter()
+                .zip(wakers)
+                .enumerate()
+                .map(|(shard, (rx, waker))| {
+                    let done = done_tx.clone();
+                    let ckpt = checkpoint.clone();
+                    let cfg = &cfg;
+                    s.spawn(move || {
+                        replica_loop(shard as u32, ckpt, rx, done, waker, cfg, cluster, sink)
+                    })
                 })
+                .collect();
+            // The loop must see `Disconnected` once the replicas exit,
+            // so it holds no completion sender of its own.
+            drop(done_tx);
+            let io = io_loop(
+                &listener,
+                job_txs,
+                &done_rx,
+                &wake,
+                &cfg,
+                cluster,
+                source_rate,
+                sink,
+            );
+            let mut report = ServeReport {
+                errors: io.protocol_errors,
+                ..ServeReport::default()
             };
-            drop(tx); // batcher exit must only wait on live connections
-            let mut report = batch_loop(rx, &model, &cfg, cluster, &draining, sink);
-            report.errors += protocol_errors.load(Ordering::Relaxed);
-            acceptor.join().expect("acceptor panicked");
+            for handle in handles {
+                let shard_report = handle.join().expect("replica panicked");
+                report.absorb(&shard_report);
+                report.per_replica.push(shard_report);
+            }
             report
-        })
-        .expect("serve thread panicked");
+        });
+        sink.counter("serve.responses", report.responses);
+        sink.counter("serve.errors", report.errors);
+        sink.counter("serve.encode_ns", report.encode_ns);
+        sink.counter("serve.rollout_ns", report.rollout_ns);
         sink.flush();
         Ok(report)
     }
 }
 
-/// Poll-accept connections until the drain flag is set. Non-blocking
-/// accept + a short sleep keeps shutdown latency bounded without any
-/// wake-pipe machinery.
-#[allow(clippy::too_many_arguments)]
-fn accept_loop<'scope, 'env>(
-    s: &crossbeam::thread::Scope<'scope, 'env>,
-    listener: &'env TcpListener,
-    tx: SyncSender<Job>,
-    cfg: &'env ServeConfig,
-    draining: &'env AtomicBool,
-    protocol_errors: &'env AtomicU64,
-    sink: &'env TelemetrySink,
-    cluster: ClusterSpec,
-    source_rate: f64,
-) {
-    while !draining.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                sink.counter("serve.connections", 1);
-                let tx = tx.clone();
-                s.spawn(move |ws| {
-                    connection_loop(
-                        ws,
-                        stream,
-                        tx,
-                        cfg,
-                        draining,
-                        protocol_errors,
-                        cluster,
-                        source_rate,
-                    )
-                });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Read request lines off one connection until EOF or drain.
-///
-/// Line assembly is manual (`read` + split on `\n`) because a read
-/// timeout must not lose a partially received line; the timeout tick is
-/// just the drain-flag poll.
-#[allow(clippy::too_many_arguments)]
-fn connection_loop<'scope, 'env>(
-    s: &crossbeam::thread::Scope<'scope, 'env>,
-    mut stream: TcpStream,
-    tx: SyncSender<Job>,
-    cfg: &'env ServeConfig,
-    draining: &'env AtomicBool,
-    protocol_errors: &'env AtomicU64,
-    cluster: ClusterSpec,
-    source_rate: f64,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let (wtx, wrx) = mpsc::channel::<String>();
-    if let Ok(out) = stream.try_clone() {
-        s.spawn(move |_| writer_loop(out, wrx));
-    } else {
-        return;
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = ServeConfig::builder().build().unwrap();
+        let default = ServeConfig::default();
+        assert_eq!(built.addr, default.addr);
+        assert_eq!(built.replicas, default.replicas);
+        assert_eq!(built.max_batch, default.max_batch);
+        assert_eq!(built.queue_capacity, default.queue_capacity);
+        assert_eq!(built.request_timeout_ms, default.request_timeout_ms);
+        assert_eq!(built.cache_capacity, default.cache_capacity);
+        assert_eq!(built.workers, default.workers);
+        assert_eq!(built.seed, default.seed);
     }
 
-    let mut acc: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                acc.extend_from_slice(&chunk[..n]);
-                while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
-                    let line: Vec<u8> = acc.drain(..=pos).collect();
-                    let line = String::from_utf8_lossy(&line);
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    handle_line(
-                        line,
-                        &tx,
-                        &wtx,
-                        cfg,
-                        draining,
-                        protocol_errors,
-                        cluster,
-                        source_rate,
-                    );
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if draining.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Parse one request line and route it: protocol errors are answered
-/// inline, shutdown flips the drain flag, allocations enter the bounded
-/// queue (or bounce with `overloaded` / `draining`).
-#[allow(clippy::too_many_arguments)]
-fn handle_line(
-    line: &str,
-    tx: &SyncSender<Job>,
-    wtx: &mpsc::Sender<String>,
-    cfg: &ServeConfig,
-    draining: &AtomicBool,
-    protocol_errors: &AtomicU64,
-    cluster: ClusterSpec,
-    source_rate: f64,
-) {
-    let refuse = |err: WireError, id: Option<String>| {
-        protocol_errors.fetch_add(1, Ordering::Relaxed);
-        let _ = wtx.send(err.response(id).to_line());
-    };
-    let req: AllocRequest = match parse_request(line) {
-        Ok(WireRequest::Alloc(req)) => req,
-        Ok(WireRequest::Shutdown) => {
-            draining.store(true, Ordering::Relaxed);
-            return;
-        }
-        Err(e) => return refuse(e, None),
-    };
-    if draining.load(Ordering::Relaxed) {
-        return refuse(WireError::Draining, Some(req.id));
-    }
-    let devices = req.devices.unwrap_or(cluster.devices);
-    let rate = req.source_rate.unwrap_or(source_rate);
-    let job = Job {
-        fingerprint: request_fingerprint(&req.graph, devices, rate),
-        id: req.id,
-        graph: req.graph,
-        devices,
-        source_rate: rate,
-        enqueued: Instant::now(),
-        respond: wtx.clone(),
-    };
-    match tx.try_send(job) {
-        Ok(()) => {}
-        Err(TrySendError::Full(job)) => refuse(
-            WireError::Overloaded(format!(
-                "request queue full ({} pending)",
-                cfg.queue_capacity
-            )),
-            Some(job.id),
-        ),
-        Err(TrySendError::Disconnected(job)) => refuse(WireError::Draining, Some(job.id)),
-    }
-}
-
-/// Forward response lines to the socket; exits when every sender (the
-/// connection's reader plus any in-flight jobs) is gone.
-fn writer_loop(mut out: TcpStream, wrx: mpsc::Receiver<String>) {
-    for line in wrx {
-        if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
-            break;
-        }
-        let _ = out.flush();
-    }
-    let _ = out.shutdown(std::net::Shutdown::Write);
-}
-
-/// The batcher: owns the model, the cache and the telemetry spans.
-fn batch_loop(
-    rx: mpsc::Receiver<Job>,
-    model: &CoarsenModel,
-    cfg: &ServeConfig,
-    base_cluster: ClusterSpec,
-    draining: &AtomicBool,
-    sink: &TelemetrySink,
-) -> ServeReport {
-    let policy = CoarseningPolicy::from_config(&model.config);
-    let placer = MetisCoarsePlacer::new(cfg.seed);
-    let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
-    // Tape-free inference state, reused across batches: the scratch arena
-    // reaches steady-state allocation-free forwards, and the union builder
-    // skips topology rebuilds when consecutive batches carry identical
-    // fingerprints.
-    let mut union = BatchUnion::new();
-    let mut scratch = InferenceScratch::new();
-    let mut report = ServeReport::default();
-    let timeout = Duration::from_millis(cfg.request_timeout_ms);
-    let workers = cfg.workers.clamp(1, rollout::default_workers());
-
-    'serve: loop {
-        let first = match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => job,
-            Err(RecvTimeoutError::Timeout) => {
-                if draining.load(Ordering::Relaxed) {
-                    // Readers refuse new work once the flag is set; one
-                    // more empty tick means the queue stays drained.
-                    match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(job) => job,
-                        Err(_) => break 'serve,
-                    }
-                } else {
-                    continue;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break 'serve,
-        };
-        let mut jobs = vec![first];
-        while jobs.len() < cfg.max_batch.max(1) {
-            match rx.try_recv() {
-                Ok(job) => jobs.push(job),
-                Err(_) => break,
-            }
-        }
-
-        let _batch_span = sink.span("serve.batch");
-        sink.hist("serve.batch_size", jobs.len() as f64);
-        report.batches += 1;
-
-        // Deadline + queue-wait accounting, then the cache pass.
-        let now = Instant::now();
-        let mut todo: Vec<Job> = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let waited = now.duration_since(job.enqueued);
-            sink.hist("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
-            if waited > timeout {
-                report.errors += 1;
-                let err = WireError::Timeout(format!(
-                    "queued {} ms, deadline {} ms",
-                    waited.as_millis(),
-                    cfg.request_timeout_ms
-                ));
-                let _ = job.respond.send(err.response(Some(job.id)).to_line());
-                continue;
-            }
-            if let Some((placement, relative)) = cache.get(job.fingerprint) {
-                report.responses += 1;
-                let resp = AllocResponse {
-                    id: job.id,
-                    placement: placement.clone(),
-                    relative_throughput: *relative,
-                    cached: true,
-                };
-                let _ = job.respond.send(resp.to_line());
-                continue;
-            }
-            todo.push(job);
-        }
-        if todo.is_empty() {
-            continue;
-        }
-
-        // Identical requests sharing a batch share one computation.
-        let mut unique: Vec<usize> = Vec::new();
-        let mut slot_of: Vec<usize> = Vec::with_capacity(todo.len());
-        for (i, job) in todo.iter().enumerate() {
-            match unique
-                .iter()
-                .position(|&u| todo[u].fingerprint == job.fingerprint)
-            {
-                Some(slot) => slot_of.push(slot),
-                None => {
-                    unique.push(i);
-                    slot_of.push(unique.len() - 1);
-                }
-            }
-        }
-
-        // ONE forward pass over the disjoint union of the unique graphs.
-        let encode_start = Instant::now();
-        let (prepared, probs) = {
-            let _span = sink.span("serve.encode");
-            let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
-                .iter()
-                .map(|&i| {
-                    let job = &todo[i];
-                    // A `devices` override keeps the server cluster's
-                    // per-device MIPS and link bandwidth.
-                    let cluster = ClusterSpec {
-                        devices: job.devices,
-                        ..base_cluster
-                    };
-                    let rates = TupleRates::compute(&job.graph, job.source_rate);
-                    let feats = GraphFeatures::extract_with_rates(&job.graph, &cluster, &rates);
-                    (rates, feats, cluster)
-                })
-                .collect();
-            let probs = {
-                let items: Vec<(&StreamGraph, &GraphFeatures)> = unique
-                    .iter()
-                    .zip(&prepared)
-                    .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
-                    .collect();
-                // The request fingerprint keys the union cache: it covers
-                // topology, devices, and rate — everything the features
-                // are derived from.
-                let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
-                model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
-            };
-            (prepared, probs)
-        };
-        report.encode_ns += encode_start.elapsed().as_nanos() as u64;
-
-        // Fan decode → place → simulate over the deterministic pool.
-        let rollout_start = Instant::now();
-        let results: Vec<(Vec<u32>, f64)> = {
-            let _span = sink.span("serve.rollout");
-            let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
-            let (prepared, probs) = (&prepared, &probs);
-            rollout::run_ordered(workers, unique.len(), move |u| {
-                let job = &todo[unique[u]];
-                let (rates, _, cluster) = &prepared[u];
-                // Greedy decoding ignores the RNG; seed from content so
-                // even a non-greedy mode would stay request-deterministic.
-                let mut rng = ChaCha8Rng::seed_from_u64(job.fingerprint);
-                let decisions = policy.decode(&probs[u], DecodeMode::Greedy, &mut rng);
-                let coarsening = policy.apply(&job.graph, rates, cluster, &decisions, &probs[u]);
-                let coarse = placer.place_coarse(&coarsening.coarse, cluster);
-                let placement = Placement::lift(&coarse, &coarsening.node_map);
-                let relative = spg_sim::reward::relative_throughput_with_rates(
-                    &job.graph, cluster, &placement, rates,
-                );
-                (placement.as_slice().to_vec(), relative)
-            })
-        };
-        report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
-
-        for (job, &slot) in todo.iter().zip(&slot_of) {
-            let (placement, relative) = &results[slot];
-            report.responses += 1;
-            let resp = AllocResponse {
-                id: job.id.clone(),
-                placement: placement.clone(),
-                relative_throughput: *relative,
-                cached: false,
-            };
-            let _ = job.respond.send(resp.to_line());
-            cache.insert(job.fingerprint, (placement.clone(), *relative));
-        }
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = ServeConfig::builder()
+            .addr("0.0.0.0:9000")
+            .replicas(4)
+            .max_batch(16)
+            .queue_capacity(128)
+            .request_timeout_ms(250)
+            .cache_capacity(0)
+            .workers(2)
+            .seed(42)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!(cfg.replicas, 4);
+        assert_eq!(cfg.max_batch, 16);
+        assert_eq!(cfg.queue_capacity, 128);
+        assert_eq!(cfg.request_timeout_ms, 250);
+        assert_eq!(cfg.cache_capacity, 0);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.seed, 42);
     }
 
-    report.cache_hits = cache.hits();
-    report.cache_misses = cache.misses();
-    report.union_cache_hits = union.cache_hits();
-    sink.counter("serve.responses", report.responses);
-    sink.counter("serve.errors", report.errors);
-    sink.counter("serve.encode_ns", report.encode_ns);
-    sink.counter("serve.rollout_ns", report.rollout_ns);
-    report
+    #[test]
+    fn builder_rejections_name_the_field() {
+        let err = ServeConfig::builder().replicas(0).build().unwrap_err();
+        assert_eq!(err.field, "replicas");
+        assert!(err.to_string().contains("`replicas`"), "{err}");
+
+        let err = ServeConfig::builder().max_batch(0).build().unwrap_err();
+        assert_eq!(err.field, "max_batch");
+        assert!(err.to_string().contains("`max_batch`"), "{err}");
+
+        let err = ServeConfig::builder().addr("").build().unwrap_err();
+        assert_eq!(err.field, "addr");
+    }
 }

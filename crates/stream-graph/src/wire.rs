@@ -21,6 +21,18 @@
 //! inherits the server's configured defaults. Every failure is a named
 //! [`WireError`] rendered as an [`ErrorResponse`] line — a malformed
 //! request never drops the connection.
+//!
+//! ## Versioning
+//!
+//! Requests may carry an optional `"v"` field selecting the protocol
+//! version. An absent `v` means **v1** and the response bytes are
+//! exactly the pre-versioning format (no new fields appear on the
+//! default path). `"v":2` opts into the v2 response shape, which echoes
+//! `"v":2` and adds a `"shard"` field naming the replica that served
+//! the request (for debugging routing). A version this server does not
+//! speak is refused with the named `unsupported-version` error. Unknown
+//! request fields are ignored in every version, so newer clients can
+//! add fields without breaking older servers (forward compatibility).
 
 use crate::graph::{Channel, Operator, StreamGraph};
 use crate::serialize::validate_graph;
@@ -46,6 +58,9 @@ pub enum WireError {
     Draining,
     /// Unexpected server-side failure (e.g. a caught worker panic).
     Internal(String),
+    /// The request asked for a protocol version this server does not
+    /// speak.
+    UnsupportedVersion(String),
 }
 
 impl WireError {
@@ -58,8 +73,22 @@ impl WireError {
             WireError::Overloaded(_) => "overloaded",
             WireError::Draining => "draining",
             WireError::Internal(_) => "internal",
+            WireError::UnsupportedVersion(_) => "unsupported-version",
         }
     }
+
+    /// Every stable error code, in declaration order. The single source
+    /// of truth for the wire names — `spg-serve`'s `ServeError` and the
+    /// name-pinning tests both delegate here.
+    pub const CODES: [&'static str; 7] = [
+        "bad-request",
+        "invalid-graph",
+        "timeout",
+        "overloaded",
+        "draining",
+        "internal",
+        "unsupported-version",
+    ];
 
     /// Human-readable detail line.
     pub fn detail(&self) -> String {
@@ -68,7 +97,8 @@ impl WireError {
             | WireError::InvalidGraph(d)
             | WireError::Timeout(d)
             | WireError::Overloaded(d)
-            | WireError::Internal(d) => d.clone(),
+            | WireError::Internal(d)
+            | WireError::UnsupportedVersion(d) => d.clone(),
             WireError::Draining => "server is draining; not accepting new requests".to_string(),
         }
     }
@@ -115,9 +145,20 @@ pub struct AllocRequest {
     pub source_rate: Option<f64>,
     /// Device-count override; `None` inherits the server's cluster.
     pub devices: Option<usize>,
+    /// Requested protocol version; `None` means v1 (the pre-versioning
+    /// wire bytes, unchanged).
+    pub v: Option<u64>,
 }
 
+/// Protocol versions this implementation speaks.
+pub const SUPPORTED_VERSIONS: [u64; 2] = [1, 2];
+
 impl AllocRequest {
+    /// The effective protocol version (absent `v` ⇒ 1).
+    pub fn version(&self) -> u64 {
+        self.v.unwrap_or(1)
+    }
+
     /// Render as one JSONL request line (no trailing newline).
     pub fn to_line(&self) -> String {
         serde_json::to_string(self).expect("wire value renders")
@@ -141,6 +182,9 @@ impl Serialize for AllocRequest {
         if let Some(d) = self.devices {
             fields.push(("devices".to_string(), d.serialize()));
         }
+        if let Some(v) = self.v {
+            fields.push(("v".to_string(), v.serialize()));
+        }
         Value::Object(fields)
     }
 }
@@ -160,6 +204,7 @@ struct RawRequest {
     channels: Vec<Channel>,
     source_rate: Option<f64>,
     devices: Option<usize>,
+    v: Option<u64>,
 }
 
 enum RawLine {
@@ -191,6 +236,7 @@ impl Deserialize for RawLine {
             channels: Vec::<Channel>::deserialize(graph.field("channels")?)?,
             source_rate: opt_field(v, "source_rate")?,
             devices: opt_field(v, "devices")?,
+            v: opt_field(v, "v")?,
         }))
     }
 }
@@ -207,6 +253,14 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         RawLine::Shutdown => return Ok(WireRequest::Shutdown),
         RawLine::Alloc(r) => r,
     };
+    if let Some(v) = raw.v {
+        if !SUPPORTED_VERSIONS.contains(&v) {
+            return Err(WireError::UnsupportedVersion(format!(
+                "protocol version {v} is not supported (this server speaks {})",
+                SUPPORTED_VERSIONS.map(|s| format!("v{s}")).join("/")
+            )));
+        }
+    }
     if let Some(sr) = raw.source_rate {
         if !(sr.is_finite() && sr > 0.0) {
             return Err(WireError::BadRequest(format!(
@@ -230,11 +284,12 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         graph,
         source_rate: raw.source_rate,
         devices: raw.devices,
+        v: raw.v,
     }))
 }
 
 /// Successful allocation response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocResponse {
     /// Echo of the request id.
     pub id: String,
@@ -244,12 +299,55 @@ pub struct AllocResponse {
     pub relative_throughput: f64,
     /// True if the placement came from the server's LRU cache.
     pub cached: bool,
+    /// Protocol version echo; `None` on the v1 default path, where the
+    /// serialized bytes must stay exactly the pre-versioning format.
+    pub v: Option<u64>,
+    /// Replica shard that served the request (v2 only) — for debugging
+    /// the router's fingerprint→shard assignment.
+    pub shard: Option<u32>,
 }
 
 impl AllocResponse {
     /// Render as one JSONL response line (no trailing newline).
     pub fn to_line(&self) -> String {
         serde_json::to_string(self).expect("wire value renders")
+    }
+}
+
+// Hand-rolled (the vendored serde derive has no optional-field support):
+// `v`/`shard` are emitted only when present, so a v1 response line is
+// byte-identical to the pre-versioning wire format.
+impl Serialize for AllocResponse {
+    fn serialize(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("placement".to_string(), self.placement.serialize()),
+            (
+                "relative_throughput".to_string(),
+                self.relative_throughput.serialize(),
+            ),
+            ("cached".to_string(), Value::Bool(self.cached)),
+        ];
+        if let Some(v) = self.v {
+            fields.push(("v".to_string(), v.serialize()));
+        }
+        if let Some(shard) = self.shard {
+            fields.push(("shard".to_string(), shard.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for AllocResponse {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        Ok(AllocResponse {
+            id: String::deserialize(value.field("id")?)?,
+            placement: Vec::<u32>::deserialize(value.field("placement")?)?,
+            relative_throughput: f64::deserialize(value.field("relative_throughput")?)?,
+            cached: bool::deserialize(value.field("cached")?)?,
+            v: opt_field(value, "v")?,
+            shard: opt_field(value, "shard")?,
+        })
     }
 }
 
@@ -326,6 +424,7 @@ mod tests {
             graph: tiny(),
             source_rate: Some(1e4),
             devices: Some(8),
+            v: None,
         };
         let line = req.to_line();
         assert!(!line.contains('\n'));
@@ -347,6 +446,7 @@ mod tests {
             graph: tiny(),
             source_rate: None,
             devices: None,
+            v: None,
         };
         let line = req.to_line();
         assert!(!line.contains("source_rate"));
@@ -387,6 +487,7 @@ mod tests {
             graph: tiny(),
             source_rate: None,
             devices: None,
+            v: None,
         }
         .to_line()
         .replacen("[[0,1]]", "[[0,9]]", 1);
@@ -399,6 +500,7 @@ mod tests {
             graph: tiny(),
             source_rate: None,
             devices: None,
+            v: None,
         }
         .to_line()
         .replacen("\"ipt\":100", "\"ipt\":-100", 1);
@@ -413,6 +515,7 @@ mod tests {
             graph: tiny(),
             source_rate: sr,
             devices: dev,
+            v: None,
         };
         assert!(matches!(
             parse_request(&mk(Some(-1.0), None).to_line()),
@@ -431,6 +534,8 @@ mod tests {
             placement: vec![0, 2, 1],
             relative_throughput: 0.875,
             cached: true,
+            v: None,
+            shard: None,
         };
         assert_eq!(
             WireResponse::parse(&ok.to_line()).unwrap(),
@@ -454,5 +559,116 @@ mod tests {
         assert_eq!(WireError::Overloaded(String::new()).code(), "overloaded");
         assert_eq!(WireError::Timeout(String::new()).code(), "timeout");
         assert_eq!(WireError::Internal(String::new()).code(), "internal");
+        assert_eq!(
+            WireError::UnsupportedVersion(String::new()).code(),
+            "unsupported-version"
+        );
+        let listed: Vec<&str> = WireError::CODES.to_vec();
+        for err in [
+            WireError::BadRequest(String::new()),
+            WireError::InvalidGraph(String::new()),
+            WireError::Timeout(String::new()),
+            WireError::Overloaded(String::new()),
+            WireError::Draining,
+            WireError::Internal(String::new()),
+            WireError::UnsupportedVersion(String::new()),
+        ] {
+            assert!(listed.contains(&err.code()), "{} not in CODES", err.code());
+        }
+    }
+
+    #[test]
+    fn v1_request_and_response_bytes_are_unchanged() {
+        // The default path must not grow fields: absent `v` serializes
+        // to exactly the pre-versioning wire bytes.
+        let req = AllocRequest {
+            id: "r1".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+            v: None,
+        };
+        let line = req.to_line();
+        assert!(!line.contains("\"v\""), "{line}");
+        let resp = AllocResponse {
+            id: "r1".to_string(),
+            placement: vec![0, 1],
+            relative_throughput: 1.0,
+            cached: false,
+            v: None,
+            shard: None,
+        };
+        let line = resp.to_line();
+        assert!(!line.contains("\"v\"") && !line.contains("shard"), "{line}");
+        assert_eq!(
+            line,
+            r#"{"id":"r1","placement":[0,1],"relative_throughput":1,"cached":false}"#
+        );
+    }
+
+    #[test]
+    fn v2_round_trips_with_shard() {
+        let req = AllocRequest {
+            id: "r2".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+            v: Some(2),
+        };
+        let line = req.to_line();
+        assert!(line.contains("\"v\":2"), "{line}");
+        match parse_request(&line).unwrap() {
+            WireRequest::Alloc(back) => {
+                assert_eq!(back.v, Some(2));
+                assert_eq!(back.version(), 2);
+            }
+            other => panic!("expected alloc, got {other:?}"),
+        }
+        let resp = AllocResponse {
+            id: "r2".to_string(),
+            placement: vec![1, 0],
+            relative_throughput: 0.5,
+            cached: true,
+            v: Some(2),
+            shard: Some(3),
+        };
+        let back = WireResponse::parse(&resp.to_line()).unwrap();
+        assert_eq!(back, WireResponse::Ok(resp));
+    }
+
+    #[test]
+    fn unknown_version_is_a_named_error() {
+        // Explicit v1 is accepted (it is the default spelled out).
+        let mut req = AllocRequest {
+            id: "r".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+            v: Some(1),
+        };
+        assert!(parse_request(&req.to_line()).is_ok());
+        req.v = Some(3);
+        let err = parse_request(&req.to_line()).unwrap_err();
+        assert_eq!(err.code(), "unsupported-version");
+        assert!(err.detail().contains('3'), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compat() {
+        // A future client may add fields; this server must not refuse
+        // them (only an unknown `v` is refused, by name).
+        let line = AllocRequest {
+            id: "fc".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+            v: Some(2),
+        }
+        .to_line()
+        .replacen("\"v\":2", "\"v\":2,\"priority\":\"high\",\"tags\":[1,2]", 1);
+        match parse_request(&line).unwrap() {
+            WireRequest::Alloc(back) => assert_eq!(back.id, "fc"),
+            other => panic!("expected alloc, got {other:?}"),
+        }
     }
 }

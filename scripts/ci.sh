@@ -40,32 +40,43 @@ test ! -e "$SMOKE_DIR/crashed.json"   # died before the final save
 cmp "$SMOKE_DIR/straight.json" "$SMOKE_DIR/crashed.json"
 echo "kill-and-resume smoke OK"
 
-# Serving: start the allocation service on a random port, fire concurrent
-# requests from the open-loop load generator, and require that every
-# response parsed, identical requests got bitwise-identical placements
-# (bench-serve exits nonzero otherwise), and the shutdown command drained
-# the server to a clean exit 0. The load matches the checked-in
-# BENCH_serve.json config so the perf gate below compares like with like.
-"$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
-    --metrics "$SMOKE_DIR/serve_metrics.jsonl" \
-    > "$SMOKE_DIR/serve.log" 2>&1 &
-SERVE_PID=$!
-ADDR=""
-for _ in $(seq 1 50); do
-    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
-    [ -n "$ADDR" ] && break
-    sleep 0.1
-done
-if [ -z "$ADDR" ]; then
-    echo "spg serve never printed its listen address" >&2
-    kill "$SERVE_PID" 2>/dev/null || true
-    exit 1
-fi
-"$SPG" bench-serve --addr "$ADDR" --connections 4 --requests 64 \
-    --graphs 8 --rate 200 --seed 0 --shutdown \
-    --serve-metrics "$SMOKE_DIR/serve_metrics.jsonl" \
-    --out "$SMOKE_DIR/bench_serve.json"
-wait "$SERVE_PID"
+# Serving: a 1-replica and a 2-replica server, each on a random port,
+# hammered by the open-loop load generator (the 2-replica run sweeps
+# connection counts concurrently against one server instance).
+# bench-serve exits nonzero unless all 64/64 responses parse and
+# identical requests get bitwise-identical placements; `wait` under
+# `set -e` requires the shutdown-triggered drain to reach a clean exit
+# 0. Cross-replica bitwise identity and the 1000-idle-connection soak
+# are pinned by tests/serve_cluster.rs in the `cargo test` run above.
+# The sweep matches the checked-in BENCH_serve.json rows so the perf
+# gate below compares like with like.
+serve_smoke() {
+    local replicas=$1 connections=$2
+    "$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+        --replicas "$replicas" \
+        --metrics "$SMOKE_DIR/serve_metrics.jsonl" \
+        > "$SMOKE_DIR/serve.log" 2>&1 &
+    SERVE_PID=$!
+    ADDR=""
+    for _ in $(seq 1 50); do
+        ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$ADDR" ]; then
+        echo "spg serve never printed its listen address" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    "$SPG" bench-serve --addr "$ADDR" --replicas "$replicas" \
+        --connections "$connections" --requests 64 \
+        --graphs 8 --rate 200 --seed 0 --shutdown \
+        --serve-metrics "$SMOKE_DIR/serve_metrics.jsonl" \
+        --out "$SMOKE_DIR/bench_serve.json"
+    wait "$SERVE_PID"   # clean drain must exit 0
+}
+serve_smoke 1 4
+serve_smoke 2 2,4
 echo "serve smoke OK"
 
 # Perf-regression gate: re-measure the criterion microbenches (fast

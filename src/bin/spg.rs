@@ -309,18 +309,24 @@ fn serve(args: ServeArgs) -> ExitCode {
         None => TelemetrySink::disabled(),
     };
     let spec = DatasetSpec::for_setting(args.setting);
-    let mut cfg = spg::serve::ServeConfig {
-        addr: args.addr,
-        max_batch: args.max_batch,
-        queue_capacity: args.queue,
-        request_timeout_ms: args.timeout_ms,
-        cache_capacity: args.cache,
-        seed: args.seed,
-        ..spg::serve::ServeConfig::default()
-    };
+    let mut builder = spg::serve::ServeConfig::builder()
+        .addr(args.addr)
+        .replicas(args.replicas)
+        .max_batch(args.max_batch)
+        .queue_capacity(args.queue)
+        .request_timeout_ms(args.timeout_ms)
+        .cache_capacity(args.cache)
+        .seed(args.seed);
     if let Some(workers) = args.workers {
-        cfg.workers = workers;
+        builder = builder.workers(workers);
     }
+    let cfg = match builder.build() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let server = match spg::serve::Server::bind(cfg) {
         Ok(server) => server,
         Err(e) => {
@@ -355,6 +361,15 @@ fn serve(args: ServeArgs) -> ExitCode {
                 report.rollout_ns as f64 / 1e6,
                 report.union_cache_hits
             );
+            if report.per_replica.len() > 1 {
+                for (shard, r) in report.per_replica.iter().enumerate() {
+                    println!(
+                        "  replica {shard}: {} responses, {} batches, \
+                         cache {} hits / {} misses",
+                        r.responses, r.batches, r.cache_hits, r.cache_misses
+                    );
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -365,49 +380,82 @@ fn serve(args: ServeArgs) -> ExitCode {
 }
 
 fn bench_serve(args: BenchServeArgs) -> ExitCode {
-    let cfg = spg::serve::BenchConfig {
-        addr: args.addr,
-        connections: args.connections,
-        requests: args.requests,
-        graphs: args.graphs,
-        seed: args.seed,
-        rate: args.rate,
-        shutdown: args.shutdown,
-        serve_metrics: args.serve_metrics,
+    use serde::{Serialize, Value};
+    // `--out` holds an object of `"r<replicas>c<connections>"` rows (the
+    // shape perf_gate compares); sweep runs merge into whatever rows the
+    // file already has, replacing same-keyed ones.
+    let mut rows: Vec<(String, Value)> = match std::fs::read_to_string(&args.out) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(entries))
+                if entries.iter().all(|(_, v)| matches!(v, Value::Object(_))) =>
+            {
+                entries
+            }
+            // Flat pre-sweep report or unparsable content: start fresh.
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
     };
-    let report = match spg::serve::run_bench(&cfg) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("bench-serve failed against {}: {e}", cfg.addr);
-            return ExitCode::FAILURE;
+
+    let mut failure = None;
+    let last = args.connections.len() - 1;
+    for (i, &connections) in args.connections.iter().enumerate() {
+        let cfg = spg::serve::BenchConfig {
+            addr: args.addr.clone(),
+            replicas: args.replicas,
+            connections,
+            requests: args.requests,
+            graphs: args.graphs,
+            seed: args.seed,
+            rate: args.rate,
+            // Only the final run may take the server down (and harvest
+            // its drained telemetry).
+            shutdown: args.shutdown && i == last,
+            serve_metrics: args.serve_metrics.clone().filter(|_| i == last),
+        };
+        let report = match spg::serve::run_bench(&cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-serve failed against {}: {e}", cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let key = format!("r{}c{}", args.replicas, connections);
+        println!(
+            "{key}: {}/{} ok ({} cached, {} errors) in {:.2}s — {:.1} req/s \
+             sustained, latency p50 {:.1} ms / p99 {:.1} ms",
+            report.ok,
+            report.requests,
+            report.cached,
+            report.errors,
+            report.elapsed_s,
+            report.sustained_rps,
+            report.latency_p50_ms,
+            report.latency_p99_ms
+        );
+        if let (Some(e), Some(r)) = (report.encode_ms, report.rollout_ms) {
+            println!("server time split: encode {e:.1} ms, rollout {r:.1} ms");
         }
-    };
-    if let Err(e) = std::fs::write(&args.out, report.to_json() + "\n") {
+        if !report.consistent {
+            failure = Some("identical requests received different placements");
+        }
+        if report.ok == 0 {
+            failure = Some("no successful responses");
+        }
+        rows.retain(|(k, _)| *k != key);
+        rows.push((key, report.serialize()));
+    }
+
+    rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+    let json = serde_json::to_string_pretty(&Value::Object(rows))
+        .expect("report serialization is infallible");
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
         eprintln!("failed to write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }
-    println!(
-        "{}/{} ok ({} cached, {} errors) in {:.2}s — {:.1} req/s sustained, \
-         latency p50 {:.1} ms / p99 {:.1} ms",
-        report.ok,
-        report.requests,
-        report.cached,
-        report.errors,
-        report.elapsed_s,
-        report.sustained_rps,
-        report.latency_p50_ms,
-        report.latency_p99_ms
-    );
-    if let (Some(e), Some(r)) = (report.encode_ms, report.rollout_ms) {
-        println!("server time split: encode {e:.1} ms, rollout {r:.1} ms");
-    }
     println!("report written to {}", args.out.display());
-    if !report.consistent {
-        eprintln!("FAIL: identical requests received different placements");
-        return ExitCode::FAILURE;
-    }
-    if report.ok == 0 {
-        eprintln!("FAIL: no successful responses");
+    if let Some(why) = failure {
+        eprintln!("FAIL: {why}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -117,6 +117,9 @@ pub struct ServeArgs {
     /// Paper setting whose cluster and source rate are the request
     /// defaults.
     pub setting: Setting,
+    /// Shared-nothing replica workers (model copy + batcher + LRU shard
+    /// each).
+    pub replicas: usize,
     /// Maximum requests coalesced into one encoder forward pass.
     pub max_batch: usize,
     /// Bounded request-queue depth (`overloaded` beyond it).
@@ -138,8 +141,10 @@ pub struct ServeArgs {
 pub struct BenchServeArgs {
     /// Address of a running `spg serve`.
     pub addr: String,
-    /// Concurrent client connections.
-    pub connections: usize,
+    /// Replica count of the server under test (labels the report rows).
+    pub replicas: usize,
+    /// Connection counts to sweep (one bench run per entry).
+    pub connections: Vec<usize>,
     /// Total requests across all connections.
     pub requests: usize,
     /// Distinct seeded graphs cycled through the request stream.
@@ -305,8 +310,11 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --addr A        listen address (default 127.0.0.1:0)\n\
              \x20 --setting <{}>\n\
              \x20                 cluster + source-rate request defaults (default small)\n\
+             \x20 --replicas N    shared-nothing replica workers, each with its own\n\
+             \x20                 model copy, batcher and LRU shard (default 1)\n\
              \x20 --max-batch N   max requests per encoder forward pass (default 8)\n\
-             \x20 --queue N       bounded queue depth; `overloaded` beyond it (default 64)\n\
+             \x20 --queue N       bounded per-replica queue depth; `overloaded`\n\
+             \x20                 beyond it (default 64)\n\
              \x20 --timeout-ms N  per-request timeout (default 5000)\n\
              \x20 --cache N       placement-cache entries, 0 disables (default 256)\n\
              \x20 --workers N     rollout worker threads (default: auto)\n\
@@ -325,13 +333,19 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --addr A         address of a running `spg serve`\n\
              \n\
              options:\n\
-             \x20 --connections N  concurrent client connections (default 4)\n\
-             \x20 --requests N     total requests (default 64)\n\
+             \x20 --connections N[,M...]\n\
+             \x20                  connection counts to sweep, one run per entry\n\
+             \x20                  (default 4)\n\
+             \x20 --replicas N     replica count of the server under test; labels\n\
+             \x20                  the report rows `r<N>c<conns>` (default 1)\n\
+             \x20 --requests N     total requests per run (default 64)\n\
              \x20 --graphs N       distinct graphs cycled through (default 8)\n\
              \x20 --seed S         graph-generator seed (default 0)\n\
              \x20 --rate R         offered load in req/s (default 200)\n\
-             \x20 --shutdown       send a shutdown command after the run\n\
-             \x20 --out FILE       report path (default BENCH_serve.json)\n\
+             \x20 --shutdown       send a shutdown command after the last run\n\
+             \x20 --out FILE       report path; rows keyed `r<replicas>c<conns>`\n\
+             \x20                  are merged into an existing file\n\
+             \x20                  (default BENCH_serve.json)\n\
              \x20 --serve-metrics FILE\n\
              \x20                  telemetry JSONL written by `spg serve --metrics FILE`;\n\
              \x20                  after shutdown, fold the server's encode/rollout\n\
@@ -597,6 +611,7 @@ impl Command {
         let (mut model, mut workers, mut metrics) = (None, None, None);
         let mut addr = String::from("127.0.0.1:0");
         let mut setting = Setting::Small;
+        let mut replicas = 1usize;
         let (mut max_batch, mut queue, mut cache) = (8usize, 64usize, 256usize);
         let (mut timeout_ms, mut seed) = (5000u64, 7u64);
         while let Some(arg) = a.rest.next() {
@@ -605,6 +620,16 @@ impl Command {
                 "--model" => model = Some(PathBuf::from(a.value("model")?)),
                 "--addr" => addr = a.value("addr")?.to_string(),
                 "--setting" => setting = parse_setting(a.value("setting")?)?,
+                "--replicas" => {
+                    replicas = parse_num("serve", "replicas", a.value("replicas")?)?;
+                    if replicas == 0 {
+                        return Err(CliError::Usage(
+                            "invalid value `0` for --replicas: must be >= 1 \
+                             (see `spg serve --help`)"
+                                .to_string(),
+                        ));
+                    }
+                }
                 "--max-batch" => {
                     max_batch = parse_num("serve", "max-batch", a.value("max-batch")?)?
                 }
@@ -623,6 +648,7 @@ impl Command {
             model: model.ok_or_else(|| a.missing("model"))?,
             addr,
             setting,
+            replicas,
             max_batch,
             queue,
             timeout_ms,
@@ -636,7 +662,9 @@ impl Command {
     fn parse_bench_serve(rest: &[String]) -> Result<Self, CliError> {
         let mut a = Args::new("bench-serve", rest);
         let mut addr = None;
-        let (mut connections, mut requests, mut graphs) = (4usize, 64usize, 8usize);
+        let (mut requests, mut graphs) = (64usize, 8usize);
+        let mut connections = vec![4usize];
+        let mut replicas = 1usize;
         let (mut seed, mut rate, mut shutdown) = (0u64, 200.0f64, false);
         let mut out = PathBuf::from("BENCH_serve.json");
         let mut serve_metrics = None;
@@ -645,7 +673,28 @@ impl Command {
                 "--help" | "-h" => return Err(CliError::Help(command_help("bench-serve"))),
                 "--addr" => addr = Some(a.value("addr")?.to_string()),
                 "--connections" => {
-                    connections = parse_num("bench-serve", "connections", a.value("connections")?)?
+                    let text = a.value("connections")?;
+                    connections = text
+                        .split(',')
+                        .map(|c| parse_num("bench-serve", "connections", c.trim()))
+                        .collect::<Result<_, _>>()?;
+                    if connections.is_empty() || connections.contains(&0) {
+                        return Err(CliError::Usage(format!(
+                            "invalid value `{text}` for --connections: expected a \
+                             comma-separated list of positive counts \
+                             (see `spg bench-serve --help`)"
+                        )));
+                    }
+                }
+                "--replicas" => {
+                    replicas = parse_num("bench-serve", "replicas", a.value("replicas")?)?;
+                    if replicas == 0 {
+                        return Err(CliError::Usage(
+                            "invalid value `0` for --replicas: must be >= 1 \
+                             (see `spg bench-serve --help`)"
+                                .to_string(),
+                        ));
+                    }
                 }
                 "--requests" => {
                     requests = parse_num("bench-serve", "requests", a.value("requests")?)?
@@ -669,6 +718,7 @@ impl Command {
         }
         Ok(Command::BenchServe(BenchServeArgs {
             addr: addr.ok_or_else(|| a.missing("addr"))?,
+            replicas,
             connections,
             requests,
             graphs,
@@ -935,12 +985,13 @@ mod tests {
         assert_eq!(s.model, PathBuf::from("m.json"));
         assert_eq!(s.addr, "127.0.0.1:0");
         assert_eq!(s.setting.slug(), "small");
+        assert_eq!(s.replicas, 1);
         assert_eq!((s.max_batch, s.queue, s.cache), (8, 64, 256));
         assert_eq!((s.timeout_ms, s.seed), (5000, 7));
         assert_eq!((s.workers, s.metrics), (None, None));
 
         let Command::Serve(s) = parse(
-            "serve --model m --addr 0.0.0.0:9000 --setting large --max-batch 4 \
+            "serve --model m --addr 0.0.0.0:9000 --setting large --replicas 2 --max-batch 4 \
              --queue 16 --timeout-ms 250 --cache 0 --workers 2 --seed 5 --metrics t.jsonl",
         )
         .unwrap() else {
@@ -948,6 +999,7 @@ mod tests {
         };
         assert_eq!(s.addr, "0.0.0.0:9000");
         assert_eq!(s.setting.slug(), "large");
+        assert_eq!(s.replicas, 2);
         assert_eq!((s.max_batch, s.queue, s.cache), (4, 16, 0));
         assert_eq!((s.timeout_ms, s.seed), (250, 5));
         assert_eq!(s.workers, Some(2));
@@ -957,6 +1009,10 @@ mod tests {
             panic!()
         };
         assert!(msg.contains("--model is required"), "{msg}");
+        let Err(CliError::Usage(msg)) = parse("serve --model m --replicas 0") else {
+            panic!()
+        };
+        assert!(msg.contains("--replicas"), "{msg}");
     }
 
     #[test]
@@ -965,18 +1021,22 @@ mod tests {
             panic!()
         };
         assert_eq!(b.addr, "127.0.0.1:9000");
-        assert_eq!((b.connections, b.requests, b.graphs), (4, 64, 8));
+        assert_eq!(b.connections, vec![4]);
+        assert_eq!(b.replicas, 1);
+        assert_eq!((b.requests, b.graphs), (64, 8));
         assert_eq!((b.seed, b.rate, b.shutdown), (0, 200.0, false));
         assert_eq!(b.out, PathBuf::from("BENCH_serve.json"));
 
         let Command::BenchServe(b) = parse(
-            "bench-serve --addr h:1 --connections 2 --requests 10 --graphs 3 \
+            "bench-serve --addr h:1 --connections 2 --replicas 2 --requests 10 --graphs 3 \
              --seed 9 --rate 50 --shutdown --out r.json --serve-metrics m.jsonl",
         )
         .unwrap() else {
             panic!()
         };
-        assert_eq!((b.connections, b.requests, b.graphs), (2, 10, 3));
+        assert_eq!(b.connections, vec![2]);
+        assert_eq!(b.replicas, 2);
+        assert_eq!((b.requests, b.graphs), (10, 3));
         assert_eq!((b.seed, b.rate, b.shutdown), (9, 50.0, true));
         assert_eq!(b.out, PathBuf::from("r.json"));
         assert_eq!(b.serve_metrics, Some(PathBuf::from("m.jsonl")));
@@ -989,6 +1049,27 @@ mod tests {
             panic!()
         };
         assert!(msg.contains("--addr is required"), "{msg}");
+    }
+
+    #[test]
+    fn bench_serve_connection_sweeps() {
+        let Command::BenchServe(b) = parse("bench-serve --addr h:1 --connections 1,4,16").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.connections, vec![1, 4, 16]);
+
+        for bad in [
+            "bench-serve --addr h:1 --connections 0",
+            "bench-serve --addr h:1 --connections 2,0",
+            "bench-serve --addr h:1 --connections ,",
+            "bench-serve --addr h:1 --replicas 0",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(CliError::Usage(_))),
+                "`{bad}` should be a usage error"
+            );
+        }
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn alloc_request(id: &str, graph: &StreamGraph) -> AllocRequest {
         graph: graph.clone(),
         source_rate: None,
         devices: None,
+        v: None,
     }
 }
 

@@ -1,0 +1,361 @@
+//! Cluster-mode serving tests: routing determinism across replica
+//! counts, wire protocol v2 shard reporting, graceful drain under
+//! replicated load, and an idle-connection soak over the event loop.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{DatasetSpec, Setting};
+use spg::graph::wire::{shutdown_line, AllocRequest, WireResponse};
+use spg::graph::StreamGraph;
+use spg::model::checkpoint::Checkpoint;
+use spg::model::pipeline::MetisCoarsePlacer;
+use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::obs::TelemetrySink;
+use spg::serve::{request_fingerprint, shard_of, ServeConfig, ServeReport, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn quick_checkpoint(seed: u64) -> Checkpoint {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let graphs: Vec<_> = (0..4u64)
+        .map(|s| spg::gen::generate_graph(&spec, seed + s))
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(seed))
+        .graphs(graphs)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .options(TrainOptions::new().seed(seed))
+        .build();
+    trainer.train_epoch();
+    trainer.checkpoint()
+}
+
+fn spawn_server(
+    cfg: ServeConfig,
+    ck: Checkpoint,
+) -> (String, std::thread::JoinHandle<ServeReport>) {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let sink = TelemetrySink::disabled();
+        server
+            .run(ck, spec.cluster(), spec.source_rate, &sink)
+            .expect("serve run")
+    });
+    (addr, handle)
+}
+
+struct Client {
+    out: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("read timeout");
+        Self {
+            out: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.out.write_all(line.as_bytes()).expect("write");
+        self.out.write_all(b"\n").expect("write newline");
+        self.out.flush().expect("flush");
+    }
+
+    /// Read one raw response line (bitwise, trailing newline stripped).
+    fn read_raw_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        line.trim_end_matches('\n').to_string()
+    }
+
+    fn read_response(&mut self) -> WireResponse {
+        WireResponse::parse(self.read_raw_line().trim()).expect("parse response")
+    }
+
+    fn shutdown(mut self) {
+        self.send_line(shutdown_line());
+    }
+}
+
+fn alloc_request(id: &str, graph: &StreamGraph) -> AllocRequest {
+    AllocRequest {
+        id: id.to_string(),
+        graph: graph.clone(),
+        source_rate: None,
+        devices: None,
+        v: None,
+    }
+}
+
+#[test]
+fn replica_count_cannot_change_a_single_response_bit() {
+    // One corpus — 8 distinct graphs plus repeats — sent sequentially
+    // (await each answer, so cache-hit vs batch-dedup behavior is
+    // deterministic) through 1-, 2-, and 4-replica servers. Response
+    // LINES must be bitwise identical across all three: routing is an
+    // implementation detail, the protocol output is pinned.
+    let ck = quick_checkpoint(21);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let graphs: Vec<_> = (0..8u64)
+        .map(|s| spg::gen::generate_graph(&spec, 300 + s))
+        .collect();
+    // Distinct graphs first, then repeats of the first three.
+    let corpus: Vec<(String, &StreamGraph)> = (0..graphs.len())
+        .map(|i| (format!("q{i}"), &graphs[i]))
+        .chain((0..3).map(|i| (format!("rep{i}"), &graphs[i])))
+        .collect();
+
+    let mut transcripts: Vec<Vec<String>> = Vec::new();
+    for replicas in [1usize, 2, 4] {
+        let cfg = ServeConfig::builder().replicas(replicas).build().unwrap();
+        let (addr, handle) = spawn_server(cfg, ck.clone());
+        let mut client = Client::connect(&addr);
+        let mut lines = Vec::new();
+        for (id, g) in &corpus {
+            client.send_line(&alloc_request(id, g).to_line());
+            lines.push(client.read_raw_line());
+        }
+        client.shutdown();
+        let report = handle.join().expect("server thread");
+        assert_eq!(
+            report.responses,
+            corpus.len() as u64,
+            "{replicas} replicas must answer the whole corpus"
+        );
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.per_replica.len(), replicas);
+        let split: u64 = report.per_replica.iter().map(|r| r.responses).sum();
+        assert_eq!(split, report.responses, "per-replica reports must add up");
+        if replicas == 4 {
+            let active = report.per_replica.iter().filter(|r| r.batches > 0).count();
+            assert!(active >= 2, "corpus must actually spread across shards");
+        }
+        transcripts.push(lines);
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "1 vs 2 replicas: responses must be bitwise identical"
+    );
+    assert_eq!(
+        transcripts[0], transcripts[2],
+        "1 vs 4 replicas: responses must be bitwise identical"
+    );
+    // The repeats re-hit their original shard's warm cache.
+    for lines in &transcripts {
+        for rep in lines.iter().rev().take(3) {
+            assert!(rep.contains("\"cached\":true"), "repeat not cached: {rep}");
+        }
+    }
+}
+
+#[test]
+fn wire_v2_reports_the_stable_shard_assignment() {
+    let ck = quick_checkpoint(22);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let cluster = spec.cluster();
+    let replicas = 2u32;
+    let cfg = ServeConfig::builder()
+        .replicas(replicas as usize)
+        .build()
+        .unwrap();
+    let (addr, handle) = spawn_server(cfg, ck);
+
+    // Pick one graph per shard by computing the assignment client-side —
+    // the response's `shard` field must agree with the public hash.
+    let mut picks: Vec<(StreamGraph, u32)> = Vec::new();
+    let mut covered = [false; 2];
+    for seed in 400u64..500 {
+        let g = spg::gen::generate_graph(&spec, seed);
+        let shard = shard_of(
+            request_fingerprint(&g, cluster.devices, spec.source_rate),
+            replicas,
+        );
+        if !covered[shard as usize] {
+            covered[shard as usize] = true;
+            picks.push((g, shard));
+        }
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    assert_eq!(picks.len(), 2, "100 seeds must cover both shards");
+
+    let mut client = Client::connect(&addr);
+    for (gi, (g, expected)) in picks.iter().enumerate() {
+        // Same graph twice: fresh then cached, same shard both times.
+        for round in 0..2 {
+            let mut req = alloc_request(&format!("g{gi}-{round}"), g);
+            req.v = Some(2);
+            client.send_line(&req.to_line());
+            let WireResponse::Ok(a) = client.read_response() else {
+                panic!("v2 request must succeed")
+            };
+            assert_eq!(a.v, Some(2), "v2 response must echo the version");
+            assert_eq!(
+                a.shard,
+                Some(*expected),
+                "shard must match the rendezvous assignment"
+            );
+            assert_eq!(a.cached, round == 1);
+        }
+    }
+    // A v1 request on the same connection stays byte-compatible: no new
+    // fields leak into the default path.
+    client.send_line(&alloc_request("v1", &picks[0].0).to_line());
+    let line = client.read_raw_line();
+    assert!(
+        !line.contains("\"v\"") && !line.contains("shard"),
+        "v1 responses must not grow fields: {line}"
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn drain_completes_in_flight_work_and_refuses_late_arrivals() {
+    let ck = quick_checkpoint(23);
+    // max_batch 1 forces one inference pass per request, and the
+    // backlog below uses ~50–100-node graphs, keeping the replicas
+    // busy long enough that the post-shutdown probes land while the
+    // drain is still in progress. The timeout is raised so queued
+    // backlog never expires on a slow machine.
+    let cfg = ServeConfig::builder()
+        .replicas(2)
+        .max_batch(1)
+        .request_timeout_ms(120_000)
+        .build()
+        .unwrap();
+    let (addr, handle) = spawn_server(cfg, ck);
+
+    // Pre-open the late connection before shutdown is even sent.
+    let mut late = Client::connect(&addr);
+
+    let medium = DatasetSpec::scaled_down(Setting::MediumFiveDevices);
+    let graphs: Vec<_> = (0..16u64)
+        .map(|s| spg::gen::generate_graph(&medium, 500 + s))
+        .collect();
+    let mut client = Client::connect(&addr);
+    // Pipeline the full backlog, then shutdown, then one more alloc —
+    // all on one connection, so line order guarantees the last request
+    // is processed after the drain began and MUST get `draining`.
+    for (i, g) in graphs.iter().enumerate() {
+        client.send_line(&alloc_request(&format!("in-flight-{i}"), g).to_line());
+    }
+    client.send_line(shutdown_line());
+    client.send_line(&alloc_request("after-shutdown", &graphs[0]).to_line());
+
+    // While replicas chew through the backlog: the pre-opened
+    // connection and a brand-new connect both get refused by name.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    late.send_line(&alloc_request("late-conn", &graphs[1]).to_line());
+    let WireResponse::Err(e) = late.read_response() else {
+        panic!("pre-opened late request must be refused")
+    };
+    assert_eq!(e.error, "draining");
+    let mut fresh = Client::connect(&addr);
+    fresh.send_line(&alloc_request("late-connect", &graphs[2]).to_line());
+    let WireResponse::Err(e) = fresh.read_response() else {
+        panic!("late connect must be refused, not ignored")
+    };
+    assert_eq!(e.error, "draining");
+
+    // Every in-flight request completes, plus exactly one refusal for
+    // the post-shutdown request. The refusal is queued inline by the
+    // router while the backlog is still computing, so it may arrive
+    // ahead of the Ok responses — match by id, not by order.
+    let mut seen = std::collections::HashMap::new();
+    let mut refusals = Vec::new();
+    for _ in 0..graphs.len() + 1 {
+        match client.read_response() {
+            WireResponse::Ok(a) => {
+                seen.insert(a.id.clone(), a.placement.len());
+            }
+            WireResponse::Err(e) => refusals.push(e),
+        }
+    }
+    for (i, g) in graphs.iter().enumerate() {
+        assert_eq!(
+            seen.get(&format!("in-flight-{i}")),
+            Some(&g.num_nodes()),
+            "request {i} must complete during drain"
+        );
+    }
+    assert_eq!(
+        refusals.len(),
+        1,
+        "exactly one request arrived post-shutdown"
+    );
+    assert_eq!(refusals[0].error, "draining");
+    assert_eq!(refusals[0].id.as_deref(), Some("after-shutdown"));
+
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.responses, graphs.len() as u64);
+    assert!(
+        report.errors >= 3,
+        "three named refusals, got {}",
+        report.errors
+    );
+    let active = report
+        .per_replica
+        .iter()
+        .filter(|r| r.responses > 0)
+        .count();
+    assert_eq!(active, 2, "both replicas must have drained in-flight work");
+}
+
+#[test]
+fn a_thousand_idle_connections_cost_no_threads_and_break_nothing() {
+    let ck = quick_checkpoint(24);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+
+    // Open and hold 1000 idle connections. Under the old
+    // thread-per-connection design this would be 2000 parked threads;
+    // the event loop holds them as poll-set entries.
+    let idle: Vec<TcpStream> = (0..1000)
+        .map(|i| {
+            TcpStream::connect(&addr).unwrap_or_else(|e| panic!("idle connect {i} failed: {e}"))
+        })
+        .collect();
+
+    // Service must be unimpaired: a real request through the crowd, and
+    // one of the idle sockets waking up mid-soak.
+    let g = spg::gen::generate_graph(&spec, 777);
+    let mut client = Client::connect(&addr);
+    client.send_line(&alloc_request("through-the-crowd", &g).to_line());
+    let WireResponse::Ok(a) = client.read_response() else {
+        panic!("request must succeed with 1000 idle connections held open")
+    };
+    assert_eq!(a.placement.len(), g.num_nodes());
+
+    let woken = idle.last().expect("idle pool nonempty");
+    let mut woken = Client {
+        out: woken.try_clone().expect("clone idle"),
+        reader: BufReader::new(woken.try_clone().expect("clone idle")),
+    };
+    woken
+        .out
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok();
+    woken.send_line(&alloc_request("was-idle", &g).to_line());
+    let WireResponse::Ok(a) = woken.read_response() else {
+        panic!("formerly idle connection must still be serviceable")
+    };
+    assert!(a.cached, "repeat of the same graph must hit the cache");
+
+    client.shutdown();
+    drop(idle);
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.responses, 2);
+    assert_eq!(report.errors, 0);
+}
