@@ -14,11 +14,13 @@
 //! in the data set to have the same distribution").
 
 pub mod catalog;
+pub mod drift;
 pub mod settings;
 pub mod templates;
 pub mod topology;
 pub mod workload;
 
+pub use drift::{drift_delta, drift_scenario, DriftKind, DriftScenario};
 pub use settings::{DatasetSpec, Setting};
 pub use topology::{GrowthConfig, TopologyGenerator};
 pub use workload::{WorkloadConfig, WorkloadParams};

@@ -20,17 +20,22 @@
 //! * [`guided`] — inference of "which edges did Metis collapse" via maximum
 //!   spanning trees per group, used to seed the RL model's sample buffer
 //!   (§IV-C, Metis-guided training signals).
+//! * [`incremental`] — warm-started re-allocation after a graph delta:
+//!   project the prior placement, refine, fall back to the full pipeline
+//!   above a churn threshold (DESIGN.md §15).
 
 pub mod allocate;
 pub mod bisect;
 pub mod coarsen;
 pub mod guided;
+pub mod incremental;
 pub mod kway;
 pub mod matching;
 pub mod refine;
 pub mod targets;
 
 pub use allocate::{MetisAllocator, MetisOracle};
+pub use incremental::{realloc_decide, IncrementalConfig, ReallocDecision};
 pub use kway::{kway_partition, PartitionConfig};
 pub use targets::{kway_partition_targets, MetisHeteroAllocator};
 

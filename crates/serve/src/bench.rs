@@ -10,12 +10,13 @@
 //! cross-checks determinism: every response for the same graph must
 //! carry the bitwise-identical placement.
 
-use spg_gen::{DatasetSpec, Setting};
-use spg_graph::wire::{shutdown_line, AllocRequest, WireResponse};
-use spg_graph::StreamGraph;
+use spg_gen::{drift_scenario, DatasetSpec, Setting};
+use spg_graph::wire::{shutdown_line, AllocRequest, ReallocRequest, WireResponse};
+use spg_graph::{GraphDelta, StreamGraph};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -74,8 +75,17 @@ pub struct BenchReport {
     pub requests: usize,
     /// Successful allocation responses.
     pub ok: usize,
-    /// Error responses (plus unparseable/missing responses).
+    /// Error responses plus requests whose response never arrived
+    /// (`timeouts + short_reads`); malformed lines are tracked
+    /// separately in `parse_errors` because the request they belonged
+    /// to still shows up as a timeout or short read.
     pub errors: usize,
+    /// Requests still unanswered when a connection's read timed out.
+    pub timeouts: usize,
+    /// Requests still unanswered when the server closed the connection.
+    pub short_reads: usize,
+    /// Response lines that failed to parse or carried an unknown id.
+    pub parse_errors: usize,
     /// Responses flagged as served from the cache.
     pub cached: usize,
     /// Wall-clock from first scheduled send to last response (s).
@@ -109,6 +119,19 @@ struct Sample {
     response: WireResponse,
 }
 
+/// Why responses went missing, split by failure mode so a bad run's
+/// report says *what* went wrong instead of one undifferentiated
+/// `errors` count.
+#[derive(Default)]
+struct WireCounts {
+    /// Requests unanswered when a connection's read timed out.
+    timeouts: AtomicUsize,
+    /// Requests unanswered when the server closed the connection early.
+    short_reads: AtomicUsize,
+    /// Response lines that failed to parse or matched no pending id.
+    parse_errors: AtomicUsize,
+}
+
 /// Run the load generator against a listening server.
 pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
     let spec = DatasetSpec::scaled_down(Setting::Small);
@@ -120,6 +143,7 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
     let interval = Duration::from_secs_f64(1.0 / cfg.rate.max(1e-6));
     let start = Instant::now() + Duration::from_millis(20);
     let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(cfg.requests));
+    let counts = WireCounts::default();
 
     let mut elapsed_s = 0.0;
     crossbeam::thread::scope(|s| -> std::io::Result<()> {
@@ -130,9 +154,9 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
                 .filter(|i| i % connections == conn)
                 .map(|i| (i, start + interval.mul_prec(i)))
                 .collect();
-            let (graphs, samples) = (&graphs, &samples);
+            let (graphs, samples, counts) = (&graphs, &samples, &counts);
             handles.push(s.spawn(move |_| -> std::io::Result<()> {
-                run_connection(&cfg.addr, conn, &schedule, graphs, samples)
+                run_connection(&cfg.addr, conn, &schedule, graphs, samples, counts)
             }));
         }
         for h in handles {
@@ -155,8 +179,19 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
     };
 
     let samples = samples.into_inner().expect("sample lock poisoned");
+    assert!(
+        samples.len() <= cfg.requests,
+        "collected {} samples for {} requests — duplicate or phantom responses",
+        samples.len(),
+        cfg.requests
+    );
+    let timeouts = counts.timeouts.load(Ordering::Relaxed);
+    let short_reads = counts.short_reads.load(Ordering::Relaxed);
+    let parse_errors = counts.parse_errors.load(Ordering::Relaxed);
     let mut ok = 0;
-    let mut errors = cfg.requests.saturating_sub(samples.len());
+    // Missing responses are exactly the pending requests each reader
+    // classified on exit; error *responses* are added in the loop below.
+    let mut errors = timeouts + short_reads;
     let mut cached = 0;
     let mut latencies: Vec<f64> = Vec::with_capacity(samples.len());
     let mut canonical: HashMap<usize, Vec<u32>> = HashMap::new();
@@ -185,6 +220,9 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
         requests: cfg.requests,
         ok,
         errors,
+        timeouts,
+        short_reads,
+        parse_errors,
         cached,
         elapsed_s,
         sustained_rps: if elapsed_s > 0.0 {
@@ -234,6 +272,7 @@ fn run_connection(
     schedule: &[(usize, Instant)],
     graphs: &[StreamGraph],
     samples: &Mutex<Vec<Sample>>,
+    counts: &WireCounts,
 ) -> std::io::Result<()> {
     if schedule.is_empty() {
         return Ok(());
@@ -257,12 +296,21 @@ fn run_connection(
             while !pending.is_empty() {
                 line.clear();
                 match reader.read_line(&mut line) {
-                    Ok(0) => break,
+                    Ok(0) => {
+                        // Server closed the connection with requests
+                        // still outstanding: short reads, not timeouts.
+                        counts
+                            .short_reads
+                            .fetch_add(pending.len(), Ordering::Relaxed);
+                        break;
+                    }
                     Ok(_) => {
                         let Ok(resp) = WireResponse::parse(line.trim()) else {
+                            counts.parse_errors.fetch_add(1, Ordering::Relaxed);
                             continue;
                         };
                         let Some((gi, at)) = resp.id().and_then(|id| pending.remove(id)) else {
+                            counts.parse_errors.fetch_add(1, Ordering::Relaxed);
                             continue;
                         };
                         samples.lock().expect("sample lock poisoned").push(Sample {
@@ -271,7 +319,10 @@ fn run_connection(
                             response: resp,
                         });
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        counts.timeouts.fetch_add(pending.len(), Ordering::Relaxed);
+                        break;
+                    }
                 }
             }
         });
@@ -294,6 +345,194 @@ fn run_connection(
         out.shutdown(std::net::Shutdown::Write)?;
         reader.join().expect("bench reader panicked");
         Ok(())
+    })
+}
+
+/// What the drift bench measured: placement quality retained by the
+/// warm-start path against the latency it saved, plus the empty-delta
+/// replay consistency check.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DriftReport {
+    /// Drift scenarios exercised (each: prior alloc → empty-delta
+    /// replay → full re-alloc of the mutated graph → warm realloc).
+    pub scenarios: usize,
+    /// Reallocs answered by the warm-start path (`realloc: "warm"`).
+    pub warm_ok: usize,
+    /// Full re-allocations of the mutated graph that succeeded.
+    pub full_ok: usize,
+    /// Error responses or locally-unappliable deltas.
+    pub errors: usize,
+    /// True iff every empty-delta realloc returned the prior placement
+    /// and bitwise-identical relative throughput, with no realloc
+    /// marker.
+    pub consistent: bool,
+    /// Median warm-realloc round-trip latency (ms) — the gated metric.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile warm-realloc round-trip latency (ms).
+    pub latency_p99_ms: f64,
+    /// Median full-pipeline round-trip latency on the mutated graph (ms).
+    pub full_p50_ms: f64,
+    /// `latency_p50_ms / full_p50_ms` — the acceptance bar is ≤ 0.25.
+    pub latency_ratio: f64,
+    /// Minimum over scenarios of warm relative throughput ÷ full
+    /// relative throughput — the acceptance bar is ≥ 0.98.
+    pub min_reward_ratio: f64,
+}
+
+impl DriftReport {
+    /// Pretty-printed JSON, the `BENCH_serve.json` row format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+}
+
+/// Run the drift bench: for each seeded scenario, allocate a graph,
+/// verify the empty-delta replay reproduces the response, then race the
+/// warm-start realloc against a full re-allocation of the mutated graph
+/// and record the quality/latency trade. Requests are sequential on one
+/// connection — this measures per-request service latency on a quiet
+/// server, not throughput under load.
+pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
+    let spec = DatasetSpec::for_setting(Setting::XLarge);
+    let devices = spec.cluster().devices;
+    let rate = spec.source_rate;
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    // One request in flight at a time: without nodelay the measurement is
+    // dominated by the Nagle/delayed-ACK stall (~40 ms), not the server.
+    stream.set_nodelay(true)?;
+    let mut out = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: String| -> std::io::Result<(WireResponse, f64)> {
+        let t0 = Instant::now();
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+        let mut buf = String::new();
+        if reader.read_line(&mut buf)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the drift-bench connection",
+            ));
+        }
+        let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let resp = WireResponse::parse(buf.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Ok((resp, latency_ms))
+    };
+
+    let scenarios = cfg.graphs.max(1);
+    let (mut warm_ok, mut full_ok, mut errors) = (0, 0, 0);
+    let mut consistent = true;
+    let mut warm_lat: Vec<f64> = Vec::with_capacity(scenarios);
+    let mut full_lat: Vec<f64> = Vec::with_capacity(scenarios);
+    let mut min_reward_ratio = f64::INFINITY;
+    for i in 0..scenarios {
+        let seed = cfg.seed.wrapping_add(i as u64);
+        let g = spg_gen::generate_graph(&spec, seed);
+        let prior_req = AllocRequest {
+            id: format!("d{i}-prior"),
+            graph: g.clone(),
+            source_rate: Some(rate),
+            devices: Some(devices),
+            v: Some(2),
+        };
+        let (resp, _) = roundtrip(prior_req.to_line())?;
+        let WireResponse::Ok(prior) = resp else {
+            errors += 1;
+            continue;
+        };
+
+        // Empty-delta replay: must reproduce the prior response exactly.
+        let replay = ReallocRequest {
+            id: format!("d{i}-replay"),
+            graph: g.clone(),
+            prior_placement: prior.placement.clone(),
+            delta: GraphDelta::default(),
+            source_rate: Some(rate),
+            devices: Some(devices),
+            v: Some(2),
+        };
+        match roundtrip(replay.to_line())? {
+            (WireResponse::Ok(r), _) => {
+                consistent &= r.placement == prior.placement
+                    && r.relative_throughput.to_bits() == prior.relative_throughput.to_bits()
+                    && r.realloc.is_none();
+            }
+            (WireResponse::Err(_), _) => errors += 1,
+        }
+
+        // Drift: full pipeline on the mutated graph vs warm realloc.
+        let scenario = drift_scenario(&g, devices, rate, seed);
+        let Ok(applied) = scenario.delta.apply(&g) else {
+            errors += 1;
+            continue;
+        };
+        let full_req = AllocRequest {
+            id: format!("d{i}-full"),
+            graph: applied.graph.clone(),
+            source_rate: Some(scenario.delta.source_rate.unwrap_or(rate)),
+            devices: Some(scenario.delta.devices.unwrap_or(devices)),
+            v: Some(2),
+        };
+        let (resp, full_ms) = roundtrip(full_req.to_line())?;
+        let WireResponse::Ok(full) = resp else {
+            errors += 1;
+            continue;
+        };
+        full_ok += 1;
+        full_lat.push(full_ms);
+
+        let warm_req = ReallocRequest {
+            id: format!("d{i}-warm"),
+            graph: g.clone(),
+            prior_placement: prior.placement.clone(),
+            delta: scenario.delta.clone(),
+            source_rate: Some(rate),
+            devices: Some(devices),
+            v: Some(2),
+        };
+        let (resp, warm_ms) = roundtrip(warm_req.to_line())?;
+        let WireResponse::Ok(warm) = resp else {
+            errors += 1;
+            continue;
+        };
+        warm_lat.push(warm_ms);
+        if warm.realloc.as_deref() == Some("warm") {
+            warm_ok += 1;
+        }
+        if full.relative_throughput > 0.0 {
+            min_reward_ratio =
+                min_reward_ratio.min(warm.relative_throughput / full.relative_throughput);
+        }
+    }
+    if cfg.shutdown {
+        out.write_all(shutdown_line().as_bytes())?;
+        out.write_all(b"\n")?;
+        out.flush()?;
+    }
+
+    let latency_p50_ms = spg_obs::percentile(&warm_lat, 50.0);
+    let full_p50_ms = spg_obs::percentile(&full_lat, 50.0);
+    Ok(DriftReport {
+        scenarios,
+        warm_ok,
+        full_ok,
+        errors,
+        consistent,
+        latency_p50_ms,
+        latency_p99_ms: spg_obs::percentile(&warm_lat, 99.0),
+        full_p50_ms,
+        latency_ratio: if full_p50_ms > 0.0 {
+            latency_p50_ms / full_p50_ms
+        } else {
+            0.0
+        },
+        min_reward_ratio: if min_reward_ratio.is_finite() {
+            min_reward_ratio
+        } else {
+            0.0
+        },
     })
 }
 

@@ -42,8 +42,8 @@ mod replica;
 pub mod router;
 pub mod server;
 
-pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use bench::{run_bench, run_drift_bench, BenchConfig, BenchReport, DriftReport};
 pub use error::ServeError;
-pub use lru::{request_fingerprint, LruCache};
+pub use lru::{realloc_fingerprint, request_fingerprint, LruCache};
 pub use router::shard_of;
 pub use server::{ConfigError, ServeConfig, ServeConfigBuilder, ServeReport, Server};

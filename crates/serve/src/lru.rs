@@ -6,7 +6,7 @@
 //! can be answered from cache with the *bitwise identical* placement a
 //! fresh inference would produce.
 
-use spg_graph::StreamGraph;
+use spg_graph::{GraphDelta, StreamGraph};
 use std::collections::{BTreeMap, HashMap};
 
 /// FNV-1a content fingerprint of an allocation request: graph shape,
@@ -31,6 +31,62 @@ pub fn request_fingerprint(graph: &StreamGraph, devices: usize, source_rate: f64
     }
     mix(devices as u64);
     mix(source_rate.to_bits());
+    h
+}
+
+/// Fingerprint of an incremental re-allocation request: the prior
+/// request's fingerprint extended with the prior placement and the full
+/// delta content. Reallocs therefore never collide with plain allocs
+/// (the tag below separates the key spaces), and two reallocs share a
+/// cache entry only when prior, placement, and delta all agree.
+pub fn realloc_fingerprint(
+    graph: &StreamGraph,
+    prior_placement: &[u32],
+    delta: &GraphDelta,
+    devices: usize,
+    source_rate: f64,
+) -> u64 {
+    let mut h = request_fingerprint(graph, devices, source_rate);
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(u64::from_be_bytes(*b"REALLOC\0"));
+    mix(prior_placement.len() as u64);
+    for &d in prior_placement {
+        mix(d as u64);
+    }
+    mix(delta.remove_nodes.len() as u64);
+    for &v in &delta.remove_nodes {
+        mix(v as u64);
+    }
+    mix(delta.add_nodes.len() as u64);
+    for op in &delta.add_nodes {
+        mix(op.ipt.to_bits());
+    }
+    mix(delta.remove_edges.len() as u64);
+    for &(a, b) in &delta.remove_edges {
+        mix(((a as u64) << 32) | b as u64);
+    }
+    mix(delta.add_edges.len() as u64);
+    for (&(a, b), ch) in delta.add_edges.iter().zip(&delta.add_channels) {
+        mix(((a as u64) << 32) | b as u64);
+        mix(ch.payload.to_bits());
+        mix(ch.selectivity.to_bits());
+    }
+    mix(delta.set_ipt.len() as u64);
+    for &(v, ipt) in &delta.set_ipt {
+        mix(v as u64);
+        mix(ipt.to_bits());
+    }
+    mix(delta.set_channel_edges.len() as u64);
+    for (&(a, b), ch) in delta.set_channel_edges.iter().zip(&delta.set_channels) {
+        mix(((a as u64) << 32) | b as u64);
+        mix(ch.payload.to_bits());
+        mix(ch.selectivity.to_bits());
+    }
+    mix(delta.devices.map_or(0, |d| d as u64 + 1));
+    mix(delta.source_rate.map_or(0, f64::to_bits));
     h
 }
 
@@ -177,5 +233,38 @@ mod tests {
         assert_ne!(f, request_fingerprint(&g2, 4, 1e4), "content-sensitive");
         assert_ne!(f, request_fingerprint(&g1, 5, 1e4), "device-sensitive");
         assert_ne!(f, request_fingerprint(&g1, 4, 2e4), "rate-sensitive");
+    }
+
+    #[test]
+    fn realloc_fingerprint_separates_placement_and_delta() {
+        let g = {
+            let mut b = StreamGraphBuilder::new();
+            let a = b.add_node(Operator::new(100.0));
+            let c = b.add_node(Operator::new(200.0));
+            b.add_edge(a, c, Channel::new(8.0)).unwrap();
+            b.finish().unwrap()
+        };
+        let empty = GraphDelta::default();
+        let f = realloc_fingerprint(&g, &[0, 1], &empty, 4, 1e4);
+        assert_eq!(f, realloc_fingerprint(&g, &[0, 1], &empty, 4, 1e4));
+        assert_ne!(
+            f,
+            request_fingerprint(&g, 4, 1e4),
+            "reallocs never collide with plain allocs"
+        );
+        assert_ne!(
+            f,
+            realloc_fingerprint(&g, &[1, 1], &empty, 4, 1e4),
+            "placement-sensitive"
+        );
+        let ramp = GraphDelta {
+            source_rate: Some(2e4),
+            ..GraphDelta::default()
+        };
+        assert_ne!(
+            f,
+            realloc_fingerprint(&g, &[0, 1], &ramp, 4, 1e4),
+            "delta-sensitive"
+        );
     }
 }

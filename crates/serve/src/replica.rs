@@ -31,18 +31,37 @@ use spg_core::checkpoint::Checkpoint;
 use spg_core::policy::{CoarseningPolicy, DecodeMode};
 use spg_core::{rollout, BatchUnion, CoarsePlacer, InferenceScratch, MetisCoarsePlacer};
 use spg_graph::wire::AllocResponse;
-use spg_graph::{ClusterSpec, GraphFeatures, Placement, StreamGraph, TupleRates};
+use spg_graph::{
+    ClusterSpec, DeltaError, GraphDelta, GraphFeatures, Placement, StreamGraph, TupleRates,
+};
 use spg_obs::TelemetrySink;
+use spg_partition::{realloc_decide, IncrementalConfig, ReallocDecision};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// What a [`Job`] asks for: a fresh allocation, or an incremental
+/// re-allocation from a prior placement through a graph delta.
+// Allocs dominate queue traffic, but a Job already owns a full
+// StreamGraph, so the variant-size gap is noise next to the payload.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum JobKind {
+    Alloc,
+    Realloc {
+        prior_placement: Vec<u32>,
+        delta: GraphDelta,
+    },
+}
 
 /// A validated allocation request, routed to this replica's queue.
 pub(crate) struct Job {
     pub id: String,
+    /// For a realloc this is the *prior* graph; the replica applies the
+    /// delta itself.
     pub graph: StreamGraph,
     pub devices: usize,
     pub source_rate: f64,
     pub fingerprint: u64,
+    pub kind: JobKind,
     /// Negotiated protocol version (1 unless the request said otherwise).
     pub version: u64,
     /// Which connection to deliver the answer to.
@@ -79,6 +98,7 @@ pub(crate) fn replica_loop(
     let mut report = ServeReport::default();
     let timeout = Duration::from_millis(cfg.request_timeout_ms);
     let workers = cfg.workers.clamp(1, rollout::default_workers());
+    let inc_cfg = IncrementalConfig::default();
     let respond = |conn: u64, line: String| {
         let _ = done.send(Completion { conn, shard, line });
     };
@@ -106,6 +126,7 @@ pub(crate) fn replica_loop(
         // Deadline + queue-wait accounting, then the shard-LRU pass.
         let now = Instant::now();
         let mut todo: Vec<Job> = Vec::with_capacity(jobs.len());
+        let mut reallocs: Vec<Job> = Vec::new();
         for job in jobs {
             let waited = now.duration_since(job.enqueued);
             sink.hist("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
@@ -128,12 +149,106 @@ pub(crate) fn replica_loop(
                     cached: true,
                     v,
                     shard: shard_tag,
+                    realloc: None,
                 };
                 respond(job.conn, resp.to_line());
                 continue;
             }
+            if matches!(job.kind, JobKind::Realloc { .. }) {
+                reallocs.push(job);
+                continue;
+            }
             todo.push(job);
         }
+
+        // Incremental re-allocations run outside the batch path: the
+        // warm start is refinement-only (no model forward), and the
+        // above-threshold fallback runs the identical solo pipeline an
+        // alloc of the mutated graph would run — keyed and seeded by
+        // that graph's own request fingerprint, so the fallback answer
+        // is bit-identical to the equivalent alloc's.
+        for job in reallocs {
+            report.reallocs += 1;
+            let JobKind::Realloc {
+                prior_placement,
+                delta,
+            } = &job.kind
+            else {
+                unreachable!("reallocs holds only realloc jobs");
+            };
+            let base = ClusterSpec {
+                devices: job.devices,
+                ..base_cluster
+            };
+            let decision = {
+                let _span = sink.span("serve.realloc");
+                realloc_decide(
+                    &job.graph,
+                    prior_placement,
+                    delta,
+                    &base,
+                    job.source_rate,
+                    &inc_cfg,
+                )
+            };
+            let (placement, relative, path) = match decision {
+                Err(e) => {
+                    report.errors += 1;
+                    let err = match e {
+                        DeltaError::BadDelta(d) => ServeError::BadRequest(d),
+                        DeltaError::InvalidResult(d) => ServeError::InvalidGraph(d),
+                    };
+                    respond(job.conn, err.response(Some(job.id)).to_line());
+                    continue;
+                }
+                // An empty delta reproduces the prior response exactly
+                // (no path marker: the bytes must match the original).
+                Ok(ReallocDecision::Unchanged { relative }) => {
+                    (prior_placement.clone(), relative, None)
+                }
+                Ok(ReallocDecision::Warm {
+                    placement,
+                    relative,
+                    ..
+                }) => {
+                    report.warm_starts += 1;
+                    (placement.as_slice().to_vec(), relative, Some("warm"))
+                }
+                Ok(ReallocDecision::Full {
+                    graph,
+                    devices,
+                    source_rate,
+                }) => {
+                    let (placement, relative) = solo_alloc(
+                        &graph,
+                        devices,
+                        source_rate,
+                        base_cluster,
+                        &model,
+                        &policy,
+                        &placer,
+                        &mut union,
+                        &mut scratch,
+                        &mut report,
+                    );
+                    (placement, relative, Some("full"))
+                }
+            };
+            report.responses += 1;
+            let (v, shard_tag) = v2_fields(job.version);
+            let resp = AllocResponse {
+                id: job.id,
+                placement: placement.clone(),
+                relative_throughput: relative,
+                cached: false,
+                v,
+                shard: shard_tag,
+                realloc: path.map(str::to_string),
+            };
+            respond(job.conn, resp.to_line());
+            cache.insert(job.fingerprint, (placement, relative));
+        }
+
         if todo.is_empty() {
             waker.wake();
             continue;
@@ -225,6 +340,7 @@ pub(crate) fn replica_loop(
                 cached: false,
                 v,
                 shard: shard_tag,
+                realloc: None,
             };
             respond(job.conn, resp.to_line());
             cache.insert(job.fingerprint, (placement.clone(), *relative));
@@ -256,4 +372,44 @@ pub(crate) fn replica_loop(
     // finish its drain bookkeeping.
     waker.wake();
     report
+}
+
+/// The full pipeline for one graph — the above-threshold realloc
+/// fallback. Keyed and RNG-seeded by the *mutated* graph's own request
+/// fingerprint so the result is bit-identical to what a plain alloc of
+/// that graph would return (and the union cache is shared with it).
+#[allow(clippy::too_many_arguments)]
+fn solo_alloc(
+    graph: &StreamGraph,
+    devices: usize,
+    source_rate: f64,
+    base_cluster: ClusterSpec,
+    model: &spg_core::CoarsenModel,
+    policy: &CoarseningPolicy,
+    placer: &MetisCoarsePlacer,
+    union: &mut BatchUnion,
+    scratch: &mut InferenceScratch,
+    report: &mut ServeReport,
+) -> (Vec<u32>, f64) {
+    let key = crate::lru::request_fingerprint(graph, devices, source_rate);
+    let cluster = ClusterSpec {
+        devices,
+        ..base_cluster
+    };
+    let encode_start = Instant::now();
+    let rates = TupleRates::compute(graph, source_rate);
+    let feats = GraphFeatures::extract_with_rates(graph, &cluster, &rates);
+    let probs = model.predict_probs_batch_with(union, scratch, Some(&[key]), &[(graph, &feats)]);
+    report.encode_ns += encode_start.elapsed().as_nanos() as u64;
+
+    let rollout_start = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(key);
+    let decisions = policy.decode(&probs[0], DecodeMode::Greedy, &mut rng);
+    let coarsening = policy.apply(graph, &rates, &cluster, &decisions, &probs[0]);
+    let coarse = placer.place_coarse(&coarsening.coarse, &cluster);
+    let placement = Placement::lift(&coarse, &coarsening.node_map);
+    let relative =
+        spg_sim::reward::relative_throughput_with_rates(graph, &cluster, &placement, &rates);
+    report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
+    (placement.as_slice().to_vec(), relative)
 }

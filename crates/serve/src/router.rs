@@ -22,9 +22,9 @@
 //! replicas gone and every response byte is flushed.
 
 use crate::error::ServeError;
-use crate::lru::request_fingerprint;
+use crate::lru::{realloc_fingerprint, request_fingerprint};
 use crate::reactor::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
-use crate::replica::{Completion, Job};
+use crate::replica::{Completion, Job, JobKind};
 use crate::server::ServeConfig;
 use spg_graph::wire::{parse_request, WireRequest};
 use spg_graph::ClusterSpec;
@@ -149,8 +149,26 @@ impl Router<'_> {
     /// rendezvous-hashed onto a replica queue (or bounce with
     /// `overloaded` / `draining`).
     fn handle_line(&mut self, line: &str, conn_id: u64, conn: &mut Conn) {
-        let req = match parse_request(line) {
-            Ok(WireRequest::Alloc(req)) => req,
+        let (id, graph, devices, rate, version, kind) = match parse_request(line) {
+            Ok(WireRequest::Alloc(req)) => (
+                req.id,
+                req.graph,
+                req.devices,
+                req.source_rate,
+                req.v.unwrap_or(1),
+                JobKind::Alloc,
+            ),
+            Ok(WireRequest::Realloc(req)) => (
+                req.id,
+                req.graph,
+                req.devices,
+                req.source_rate,
+                req.v.unwrap_or(1),
+                JobKind::Realloc {
+                    prior_placement: req.prior_placement,
+                    delta: req.delta,
+                },
+            ),
             Ok(WireRequest::Shutdown) => {
                 // Dropping the senders is the drain signal: each replica
                 // finishes its backlog and exits when its queue closes.
@@ -169,19 +187,29 @@ impl Router<'_> {
             conn.queue_line(&err.response(Some(id)).to_line());
         };
         if self.draining || self.job_txs.is_empty() {
-            return refuse(&mut self.stats, conn, ServeError::Draining, req.id);
+            return refuse(&mut self.stats, conn, ServeError::Draining, id);
         }
-        let devices = req.devices.unwrap_or(self.cluster.devices);
-        let rate = req.source_rate.unwrap_or(self.source_rate);
-        let fingerprint = request_fingerprint(&req.graph, devices, rate);
+        let devices = devices.unwrap_or(self.cluster.devices);
+        let rate = rate.unwrap_or(self.source_rate);
+        // Reallocs fingerprint over (prior, placement, delta) in a key
+        // space disjoint from plain allocs, so a repeat delta replays
+        // from the same warm LRU shard.
+        let fingerprint = match &kind {
+            JobKind::Alloc => request_fingerprint(&graph, devices, rate),
+            JobKind::Realloc {
+                prior_placement,
+                delta,
+            } => realloc_fingerprint(&graph, prior_placement, delta, devices, rate),
+        };
         let shard = shard_of(fingerprint, self.job_txs.len() as u32);
         let job = Job {
-            version: req.version(),
-            id: req.id,
-            graph: req.graph,
+            version,
+            id,
+            graph,
             devices,
             source_rate: rate,
             fingerprint,
+            kind,
             conn: conn_id,
             enqueued: Instant::now(),
         };
@@ -274,7 +302,22 @@ pub(crate) fn io_loop(
                 Ok(completion) => {
                     router.depth[completion.shard as usize] -= 1;
                     if let Some(conn) = conns.get_mut(&completion.conn) {
-                        conn.outstanding = conn.outstanding.saturating_sub(1);
+                        // A completion for a connection with nothing
+                        // outstanding is a double completion — a server
+                        // bug that must be counted, not absorbed (a
+                        // saturating decrement here once masked them).
+                        match conn.outstanding.checked_sub(1) {
+                            Some(left) => conn.outstanding = left,
+                            None => {
+                                router.stats.protocol_errors += 1;
+                                sink.counter("serve.double_completions", 1);
+                                eprintln!(
+                                    "serve: BUG: double completion from shard {} \
+                                     for connection {}",
+                                    completion.shard, completion.conn
+                                );
+                            }
+                        }
                         conn.queue_line(&completion.line);
                     }
                 }

@@ -229,6 +229,10 @@ pub struct ServeReport {
     /// Batches whose disjoint-union topology was reused from the
     /// fingerprint-keyed `BatchUnion` cache.
     pub union_cache_hits: u64,
+    /// Incremental `realloc` requests handled (any path).
+    pub reallocs: u64,
+    /// Reallocs answered by warm-started refinement (no model forward).
+    pub warm_starts: u64,
     /// Per-replica reports, indexed by shard (empty inside the entries
     /// themselves).
     pub per_replica: Vec<ServeReport>,
@@ -245,6 +249,8 @@ impl ServeReport {
         self.encode_ns += other.encode_ns;
         self.rollout_ns += other.rollout_ns;
         self.union_cache_hits += other.union_cache_hits;
+        self.reallocs += other.reallocs;
+        self.warm_starts += other.warm_starts;
     }
 }
 

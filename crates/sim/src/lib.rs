@@ -27,7 +27,7 @@ pub mod metrics;
 pub mod reward;
 
 pub use analytic::{simulate, Bottleneck, SimResult};
-pub use des::{DesConfig, DesResult};
+pub use des::{simulate_des_phases, DesConfig, DesPhase, DesResult};
 pub use hetero::simulate_hetero;
 pub use latency::estimate_latency;
 pub use reward::relative_throughput;

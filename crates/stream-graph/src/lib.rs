@@ -22,6 +22,7 @@
 pub mod cluster;
 pub mod coarsen;
 pub mod csr;
+pub mod delta;
 pub mod features;
 pub mod graph;
 pub mod hetero;
@@ -33,10 +34,12 @@ pub mod unionfind;
 pub mod view;
 pub mod weighted;
 pub mod wire;
+mod wire_fast;
 
 pub use cluster::ClusterSpec;
 pub use coarsen::{CoarseGraph, Coarsening};
 pub use csr::Csr;
+pub use delta::{AppliedDelta, DeltaError, GraphDelta, DEFAULT_CHURN_THRESHOLD};
 pub use features::{EdgeFeatures, GraphFeatures, NodeFeatures};
 pub use graph::{Channel, EdgeId, GraphError, NodeId, Operator, StreamGraph, StreamGraphBuilder};
 pub use hetero::HeteroClusterSpec;

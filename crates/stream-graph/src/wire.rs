@@ -33,7 +33,21 @@
 //! speak is refused with the named `unsupported-version` error. Unknown
 //! request fields are ignored in every version, so newer clients can
 //! add fields without breaking older servers (forward compatibility).
+//!
+//! ## Incremental re-allocation (`realloc`, v2 only)
+//!
+//! A request line carrying a `"delta"` field is a [`ReallocRequest`]:
+//! the prior graph, the prior placement, and a [`GraphDelta`] naming
+//! the drift since (see `crate::delta`). The server projects the prior
+//! placement onto the mutated graph and warm-starts refinement, falling
+//! back to the full pipeline above a churn threshold; the response is a
+//! normal [`AllocResponse`] whose optional `"realloc"` field reports
+//! which path ran (`"warm"` or `"full"` — absent for an empty delta,
+//! whose response reproduces the prior placement exactly, and on every
+//! plain alloc). `realloc` requires `"v":2`; a v1 realloc is refused as
+//! `bad-request`.
 
+use crate::delta::GraphDelta;
 use crate::graph::{Channel, Operator, StreamGraph};
 use crate::serialize::validate_graph;
 use serde::{Deserialize, Serialize, Value};
@@ -125,16 +139,18 @@ impl std::error::Error for WireError {}
 // The enum is destructured immediately after parsing, so the size gap
 // between its variants never lives on a hot path or in a collection.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WireRequest {
     /// Allocate one graph.
     Alloc(AllocRequest),
+    /// Incrementally re-allocate a drifted graph from a prior placement.
+    Realloc(ReallocRequest),
     /// Stop accepting work, drain in-flight requests, exit.
     Shutdown,
 }
 
 /// An allocation request with its graph already validated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocRequest {
     /// Client-chosen request id, echoed back in the response.
     pub id: String,
@@ -189,6 +205,72 @@ impl Serialize for AllocRequest {
     }
 }
 
+/// An incremental re-allocation request (v2 only): the prior graph and
+/// placement, plus the [`GraphDelta`] describing the drift since. The
+/// graph here is the *prior* one — the server applies the delta itself
+/// so both sides agree on exactly which mutation was placed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReallocRequest {
+    /// Client-chosen request id, echoed back in the response.
+    pub id: String,
+    /// The validated prior stream graph (pre-delta).
+    pub graph: StreamGraph,
+    /// The placement the prior response assigned, one device per node.
+    pub prior_placement: Vec<u32>,
+    /// The drift to apply before re-allocating.
+    pub delta: GraphDelta,
+    /// Base source-rate override (the prior request's); the delta's
+    /// `source_rate` further overrides this.
+    pub source_rate: Option<f64>,
+    /// Base device-count override; the delta's `devices` further
+    /// overrides this.
+    pub devices: Option<usize>,
+    /// Requested protocol version; must resolve to 2.
+    pub v: Option<u64>,
+}
+
+impl ReallocRequest {
+    /// The effective protocol version (absent `v` ⇒ 1, which
+    /// [`parse_request`] refuses for realloc).
+    pub fn version(&self) -> u64 {
+        self.v.unwrap_or(1)
+    }
+
+    /// Render as one JSONL request line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("wire value renders")
+    }
+}
+
+impl Serialize for ReallocRequest {
+    fn serialize(&self) -> Value {
+        let graph = Value::Object(vec![
+            ("ops".to_string(), self.graph.ops().serialize()),
+            ("edges".to_string(), self.graph.edge_list().serialize()),
+            ("channels".to_string(), self.graph.channels().serialize()),
+        ]);
+        let mut fields = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("graph".to_string(), graph),
+            (
+                "prior_placement".to_string(),
+                self.prior_placement.serialize(),
+            ),
+            ("delta".to_string(), self.delta.serialize()),
+        ];
+        if let Some(sr) = self.source_rate {
+            fields.push(("source_rate".to_string(), sr.serialize()));
+        }
+        if let Some(d) = self.devices {
+            fields.push(("devices".to_string(), d.serialize()));
+        }
+        if let Some(v) = self.v {
+            fields.push(("v".to_string(), v.serialize()));
+        }
+        Value::Object(fields)
+    }
+}
+
 /// The shutdown command line (no trailing newline).
 pub fn shutdown_line() -> &'static str {
     r#"{"cmd":"shutdown"}"#
@@ -197,16 +279,24 @@ pub fn shutdown_line() -> &'static str {
 /// Raw request shape straight off the wire: graph parts, nothing
 /// validated yet. The vendored serde derive has no optional-field
 /// support, so this deserializer is hand-rolled over [`Value`].
-struct RawRequest {
-    id: String,
-    ops: Vec<Operator>,
-    edges: Vec<(u32, u32)>,
-    channels: Vec<Channel>,
-    source_rate: Option<f64>,
-    devices: Option<usize>,
-    v: Option<u64>,
+/// `crate::wire_fast` fills the same struct without building a `Value`
+/// tree; both feed the one validation funnel below.
+pub(crate) struct RawRequest {
+    pub(crate) id: String,
+    pub(crate) ops: Vec<Operator>,
+    pub(crate) edges: Vec<(u32, u32)>,
+    pub(crate) channels: Vec<Channel>,
+    pub(crate) source_rate: Option<f64>,
+    pub(crate) devices: Option<usize>,
+    pub(crate) v: Option<u64>,
+    /// Present (with `prior_placement`) iff this line is a realloc.
+    pub(crate) delta: Option<GraphDelta>,
+    pub(crate) prior_placement: Option<Vec<u32>>,
 }
 
+// Transient per-line parse artifact; boxing the payload would add an
+// allocation to every request for no retained-memory benefit.
+#[allow(clippy::large_enum_variant)]
 enum RawLine {
     Alloc(RawRequest),
     Shutdown,
@@ -237,6 +327,8 @@ impl Deserialize for RawLine {
             source_rate: opt_field(v, "source_rate")?,
             devices: opt_field(v, "devices")?,
             v: opt_field(v, "v")?,
+            delta: opt_field(v, "delta")?,
+            prior_placement: opt_field(v, "prior_placement")?,
         }))
     }
 }
@@ -246,13 +338,33 @@ impl Deserialize for RawLine {
 /// Malformed JSON or a bad request shape is [`WireError::BadRequest`];
 /// a graph that fails structural or numeric validation is
 /// [`WireError::InvalidGraph`]. Never panics on untrusted input.
+///
+/// Well-formed request lines take the tree-free scanner in
+/// `crate::wire_fast` (request parsing is the read loop's dominant
+/// per-byte cost on large graphs); anything it does not recognize is
+/// re-parsed by the generic `Value`-based path, which stays the
+/// authority for error reporting and edge cases.
 pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
+    match crate::wire_fast::parse(line) {
+        Some(raw) => finish_request(raw),
+        None => parse_request_generic(line),
+    }
+}
+
+/// The generic `Value`-tree path (also the fast path's fallback).
+fn parse_request_generic(line: &str) -> Result<WireRequest, WireError> {
     let raw: RawLine =
         serde_json::from_str(line).map_err(|e| WireError::BadRequest(e.to_string()))?;
     let raw = match raw {
         RawLine::Shutdown => return Ok(WireRequest::Shutdown),
         RawLine::Alloc(r) => r,
     };
+    finish_request(raw)
+}
+
+/// Shared validation tail: everything between "the line is shaped like
+/// a request" and "this is a checked [`WireRequest`]".
+fn finish_request(raw: RawRequest) -> Result<WireRequest, WireError> {
     if let Some(v) = raw.v {
         if !SUPPORTED_VERSIONS.contains(&v) {
             return Err(WireError::UnsupportedVersion(format!(
@@ -279,9 +391,43 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
     let graph = StreamGraph::from_parts(raw.ops, raw.edges, raw.channels)
         .map_err(|e| WireError::InvalidGraph(e.to_string()))?;
     let graph = validate_graph(&graph).map_err(|e| WireError::InvalidGraph(e.to_string()))?;
-    Ok(WireRequest::Alloc(AllocRequest {
+    let Some(delta) = raw.delta else {
+        return Ok(WireRequest::Alloc(AllocRequest {
+            id: raw.id,
+            graph,
+            source_rate: raw.source_rate,
+            devices: raw.devices,
+            v: raw.v,
+        }));
+    };
+    // A `delta` field makes the line a realloc. The delta's deep checks
+    // (index ranges, missing edges) run at apply time in the replica;
+    // shape problems are refused here so they never get routed.
+    if raw.v.unwrap_or(1) < 2 {
+        return Err(WireError::BadRequest(
+            "realloc requires protocol v2 (send \"v\":2)".to_string(),
+        ));
+    }
+    let Some(prior_placement) = raw.prior_placement else {
+        return Err(WireError::BadRequest(
+            "realloc requires `prior_placement`".to_string(),
+        ));
+    };
+    if prior_placement.len() != graph.num_nodes() {
+        return Err(WireError::BadRequest(format!(
+            "prior_placement has {} entries for a {}-node graph",
+            prior_placement.len(),
+            graph.num_nodes()
+        )));
+    }
+    delta
+        .validate_shape()
+        .map_err(|e| WireError::BadRequest(e.to_string()))?;
+    Ok(WireRequest::Realloc(ReallocRequest {
         id: raw.id,
         graph,
+        prior_placement,
+        delta,
         source_rate: raw.source_rate,
         devices: raw.devices,
         v: raw.v,
@@ -305,6 +451,12 @@ pub struct AllocResponse {
     /// Replica shard that served the request (v2 only) — for debugging
     /// the router's fingerprint→shard assignment.
     pub shard: Option<u32>,
+    /// Which incremental path produced this placement: `"warm"`
+    /// (projected + refined) or `"full"` (churn exceeded the threshold;
+    /// full pipeline on the mutated graph). Absent on plain allocs,
+    /// cached replays, and empty-delta reallocs — the latter so an
+    /// empty-delta response reproduces the prior response bytes.
+    pub realloc: Option<String>,
 }
 
 impl AllocResponse {
@@ -334,6 +486,9 @@ impl Serialize for AllocResponse {
         if let Some(shard) = self.shard {
             fields.push(("shard".to_string(), shard.serialize()));
         }
+        if let Some(realloc) = &self.realloc {
+            fields.push(("realloc".to_string(), Value::Str(realloc.clone())));
+        }
         Value::Object(fields)
     }
 }
@@ -347,6 +502,7 @@ impl Deserialize for AllocResponse {
             cached: bool::deserialize(value.field("cached")?)?,
             v: opt_field(value, "v")?,
             shard: opt_field(value, "shard")?,
+            realloc: opt_field(value, "realloc")?,
         })
     }
 }
@@ -536,6 +692,7 @@ mod tests {
             cached: true,
             v: None,
             shard: None,
+            realloc: None,
         };
         assert_eq!(
             WireResponse::parse(&ok.to_line()).unwrap(),
@@ -597,6 +754,7 @@ mod tests {
             cached: false,
             v: None,
             shard: None,
+            realloc: None,
         };
         let line = resp.to_line();
         assert!(!line.contains("\"v\"") && !line.contains("shard"), "{line}");
@@ -631,6 +789,7 @@ mod tests {
             cached: true,
             v: Some(2),
             shard: Some(3),
+            realloc: None,
         };
         let back = WireResponse::parse(&resp.to_line()).unwrap();
         assert_eq!(back, WireResponse::Ok(resp));
@@ -670,5 +829,166 @@ mod tests {
             WireRequest::Alloc(back) => assert_eq!(back.id, "fc"),
             other => panic!("expected alloc, got {other:?}"),
         }
+    }
+
+    fn tiny_realloc(delta: GraphDelta, v: Option<u64>) -> ReallocRequest {
+        ReallocRequest {
+            id: "ra".to_string(),
+            graph: tiny(),
+            prior_placement: vec![0, 1],
+            delta,
+            source_rate: None,
+            devices: None,
+            v,
+        }
+    }
+
+    #[test]
+    fn realloc_roundtrips_including_delta() {
+        let delta = GraphDelta {
+            set_ipt: vec![(1, 50.0)],
+            devices: Some(2),
+            ..GraphDelta::default()
+        };
+        let line = tiny_realloc(delta.clone(), Some(2)).to_line();
+        match parse_request(&line).unwrap() {
+            WireRequest::Realloc(back) => {
+                assert_eq!(back.id, "ra");
+                assert_eq!(back.prior_placement, vec![0, 1]);
+                assert_eq!(back.delta, delta);
+                assert_eq!(back.version(), 2);
+            }
+            other => panic!("expected realloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn realloc_below_v2_is_bad_request() {
+        for v in [None, Some(1)] {
+            let line = tiny_realloc(GraphDelta::default(), v).to_line();
+            let err = parse_request(&line).unwrap_err();
+            assert_eq!(err.code(), "bad-request", "{err}");
+            assert!(err.detail().contains("v2"), "{err}");
+        }
+        // v3 realloc is still the named version error.
+        let line = tiny_realloc(GraphDelta::default(), Some(3)).to_line();
+        assert_eq!(
+            parse_request(&line).unwrap_err().code(),
+            "unsupported-version"
+        );
+    }
+
+    #[test]
+    fn realloc_validates_placement_and_delta_shape() {
+        let mut req = tiny_realloc(GraphDelta::default(), Some(2));
+        req.prior_placement = vec![0];
+        let err = parse_request(&req.to_line()).unwrap_err();
+        assert_eq!(err.code(), "bad-request", "{err}");
+
+        // A delta missing its parallel channel array is refused at parse.
+        let req = tiny_realloc(
+            GraphDelta {
+                add_edges: vec![(0, 1)],
+                add_channels: vec![],
+                ..GraphDelta::default()
+            },
+            Some(2),
+        );
+        let err = parse_request(&req.to_line()).unwrap_err();
+        assert_eq!(err.code(), "bad-request", "{err}");
+
+        // A missing prior_placement is refused by name.
+        let line = tiny_realloc(GraphDelta::default(), Some(2))
+            .to_line()
+            .replacen("\"prior_placement\":[0,1],", "", 1);
+        let err = parse_request(&line).unwrap_err();
+        assert!(err.detail().contains("prior_placement"), "{err}");
+    }
+
+    /// The fast scanner and the generic `Value` path must agree on
+    /// every line: identical request on success, identical error code
+    /// on failure. The corpus mixes canonical client output with the
+    /// shapes the fast path is expected to punt on (whitespace,
+    /// escapes, nulls, unknown fields, malformed bytes).
+    #[test]
+    fn fast_path_matches_generic_path() {
+        let alloc = |v| AllocRequest {
+            id: "r1".to_string(),
+            graph: tiny(),
+            source_rate: Some(1e4),
+            devices: Some(8),
+            v,
+        };
+        let full_delta = GraphDelta {
+            remove_nodes: vec![1],
+            add_nodes: vec![Operator::new(50.0)],
+            add_edges: vec![(0, 2)],
+            add_channels: vec![Channel::with_selectivity(8.0, 0.25)],
+            set_ipt: vec![(0, 10.0)],
+            devices: Some(4),
+            source_rate: Some(5e3),
+            ..GraphDelta::default()
+        };
+        let canonical = [
+            alloc(None).to_line(),
+            alloc(Some(2)).to_line(),
+            tiny_realloc(GraphDelta::default(), Some(2)).to_line(),
+            tiny_realloc(full_delta, Some(2)).to_line(),
+            shutdown_line().to_string(),
+        ];
+        let awkward = [
+            // Whitespace, reordered and unknown fields, exotic numbers.
+            " { \"graph\" : {\"channels\":[{\"selectivity\":1,\"payload\":8.5e0,\"x\":[]}],\
+             \"ops\":[{\"ipt\":1e2},{\"ipt\":200.}],\"edges\":[[ 0 , 1 ]]} , \"id\" : \"r2\" , \
+             \"future\": {\"deep\":[[{\"a\":\"b\\\\c\"}]]} } "
+                .to_string(),
+            // Escaped id (fast path punts, result must still match).
+            r#"{"id":"r\n3","graph":{"ops":[{"ipt":1},{"ipt":2}],"edges":[[0,1]],"channels":[{"payload":1,"selectivity":1}]}}"#.to_string(),
+            // Null optionals are "absent" on the generic path.
+            r#"{"id":"r4","source_rate":null,"graph":{"ops":[{"ipt":1},{"ipt":2}],"edges":[[0,1]],"channels":[{"payload":1,"selectivity":1}]}}"#.to_string(),
+            // Duplicate key: generic takes the first occurrence.
+            r#"{"id":"a","id":"b","graph":{"ops":[{"ipt":1},{"ipt":2}],"edges":[[0,1]],"channels":[{"payload":1,"selectivity":1}]}}"#.to_string(),
+            // Failure shapes: bad JSON, wrong types, missing pieces,
+            // numbers the typed parsers reject.
+            "{".to_string(),
+            r#"{"id":5,"graph":{"ops":[],"edges":[],"channels":[]}}"#.to_string(),
+            r#"{"id":"x"}"#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[[0,1,2]],"channels":[]}}"#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[[0.5,1]],"channels":[]}}"#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1e}],"edges":[],"channels":[]}} "#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]},"v":2,"delta":{"set_ipt":[[0,1.5]]}}"#.to_string(),
+            r#"{"cmd":"shutdown","junk":1}"#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]}} trailing"#.to_string(),
+        ];
+        for line in canonical.iter().chain(awkward.iter()) {
+            let fast = parse_request(line);
+            let generic = parse_request_generic(line);
+            match (&fast, &generic) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{line}"),
+                (Err(a), Err(b)) => assert_eq!(a.code(), b.code(), "{line}: {a} vs {b}"),
+                other => panic!("paths disagree on {line}: {other:?}"),
+            }
+        }
+        // The canonical client lines must actually take the fast path —
+        // if they fall back, the optimization is silently dead.
+        for line in &canonical[..4] {
+            assert!(crate::wire_fast::parse(line).is_some(), "fell back: {line}");
+        }
+    }
+
+    #[test]
+    fn realloc_response_marker_roundtrips_and_stays_off_alloc_paths() {
+        let resp = AllocResponse {
+            id: "ra".to_string(),
+            placement: vec![1, 0],
+            relative_throughput: 0.75,
+            cached: false,
+            v: Some(2),
+            shard: Some(0),
+            realloc: Some("warm".to_string()),
+        };
+        let line = resp.to_line();
+        assert!(line.contains("\"realloc\":\"warm\""), "{line}");
+        assert_eq!(WireResponse::parse(&line).unwrap(), WireResponse::Ok(resp));
     }
 }

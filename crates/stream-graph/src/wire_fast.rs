@@ -1,0 +1,455 @@
+//! Zero-tree fast path for [`crate::wire::parse_request`].
+//!
+//! The generic wire parser builds a full `Value` tree: every object key,
+//! number, and string becomes its own heap allocation before the typed
+//! deserializers even run. For a request line the shape is known, so on
+//! large graphs (an XLarge request line is a few hundred KB) tree
+//! construction dominates the server's per-request latency — it is pure
+//! allocator traffic on the single-threaded read loop.
+//!
+//! This module scans the line once, straight into the raw request
+//! struct, allocating only the output vectors. It is *not* a second
+//! protocol implementation: it accepts a strict subset of what the
+//! generic path accepts, and anything outside that subset — a `cmd`
+//! line, an escape in a captured string, a `null`, a duplicate or
+//! missing key, any malformed byte — returns `None` and the caller
+//! falls back to the generic parser, which remains the authority for
+//! both error text and edge-case semantics. When `parse` succeeds the
+//! result is identical to the generic path's (pinned by equivalence
+//! tests in `crate::wire`).
+
+use crate::graph::{Channel, Operator};
+use crate::wire::RawRequest;
+
+/// Parse one request line without building a `Value` tree. `None` means
+/// "defer to the generic parser" — it is returned for malformed input
+/// *and* for valid input this fast path does not cover.
+pub(crate) fn parse(line: &str) -> Option<RawRequest> {
+    let mut s = Scan {
+        b: line.as_bytes(),
+        p: 0,
+    };
+    s.ws();
+    s.eat(b'{')?;
+
+    let mut id: Option<String> = None;
+    let mut ops: Option<Vec<Operator>> = None;
+    let mut edges: Option<Vec<(u32, u32)>> = None;
+    let mut channels: Option<Vec<Channel>> = None;
+    let mut source_rate: Option<f64> = None;
+    let mut devices: Option<usize> = None;
+    let mut v: Option<u64> = None;
+    let mut delta: Option<crate::delta::GraphDelta> = None;
+    let mut prior_placement: Option<Vec<u32>> = None;
+
+    s.ws();
+    if s.eat(b'}').is_none() {
+        loop {
+            s.ws();
+            let key = s.simple_string()?;
+            s.ws();
+            s.eat(b':')?;
+            s.ws();
+            match key {
+                // Command lines are tiny; let the generic path decide
+                // what a `cmd` field means.
+                "cmd" => return None,
+                "id" => set(&mut id, s.simple_string()?.to_string())?,
+                "graph" => {
+                    if ops.is_some() || edges.is_some() || channels.is_some() {
+                        return None;
+                    }
+                    let g = s.graph()?;
+                    ops = Some(g.0);
+                    edges = Some(g.1);
+                    channels = Some(g.2);
+                }
+                "source_rate" => set(&mut source_rate, s.f64()?)?,
+                "devices" => set(&mut devices, s.int::<usize>()?)?,
+                "v" => set(&mut v, s.int::<u64>()?)?,
+                "delta" => set(&mut delta, s.delta()?)?,
+                "prior_placement" => set(&mut prior_placement, s.array(Scan::int::<u32>)?)?,
+                _ => s.skip_value(0)?,
+            }
+            s.ws();
+            if s.eat(b',').is_some() {
+                continue;
+            }
+            s.eat(b'}')?;
+            break;
+        }
+    }
+    s.ws();
+    if s.p != s.b.len() {
+        return None;
+    }
+    Some(RawRequest {
+        id: id?,
+        ops: ops?,
+        edges: edges?,
+        channels: channels?,
+        source_rate,
+        devices,
+        v,
+        delta,
+        prior_placement,
+    })
+}
+
+/// Record a field value, bailing on a duplicate key (the generic path
+/// takes the first occurrence; re-parsing there keeps that semantic).
+fn set<T>(slot: &mut Option<T>, value: T) -> Option<()> {
+    if slot.is_some() {
+        return None;
+    }
+    *slot = Some(value);
+    Some(())
+}
+
+/// Nesting cap for skipped unknown values. The request shape itself is
+/// three levels deep; anything deeper inside an *unknown* field is not
+/// worth recursing into on the fast path.
+const MAX_SKIP_DEPTH: u32 = 64;
+
+struct Scan<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.p), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.p += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.p).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> Option<()> {
+        if self.peek() == Some(byte) {
+            self.p += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// A string with no escapes, borrowed straight from the input.
+    /// Escaped strings bail to the generic path.
+    fn simple_string(&mut self) -> Option<&'a str> {
+        self.eat(b'"')?;
+        let start = self.p;
+        loop {
+            match self.b.get(self.p)? {
+                b'"' => break,
+                b'\\' => return None,
+                _ => self.p += 1,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.p]).ok()?;
+        self.p += 1;
+        Some(text)
+    }
+
+    /// The maximal JSON-number-shaped span. The callers' `parse()` then
+    /// applies exactly the accept-set the generic deserializers use.
+    fn num_span(&mut self) -> Option<&'a str> {
+        let start = self.p;
+        if self.peek() == Some(b'-') {
+            self.p += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.p += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.p += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.p += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.p += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.p += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.p += 1;
+            }
+        }
+        if self.p == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.p]).ok()
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.num_span()?.parse().ok()
+    }
+
+    fn int<T: std::str::FromStr>(&mut self) -> Option<T> {
+        self.num_span()?.parse().ok()
+    }
+
+    /// `[item, item, ...]` via a per-item sub-parser.
+    fn array<T>(&mut self, item: impl Fn(&mut Self) -> Option<T>) -> Option<Vec<T>> {
+        self.eat(b'[')?;
+        self.ws();
+        let mut out = Vec::new();
+        if self.eat(b']').is_some() {
+            return Some(out);
+        }
+        loop {
+            self.ws();
+            out.push(item(self)?);
+            self.ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b']')?;
+            return Some(out);
+        }
+    }
+
+    /// A two-element array `[a, b]` (the wire shape of a tuple).
+    fn pair<A, B>(
+        &mut self,
+        first: impl Fn(&mut Self) -> Option<A>,
+        second: impl Fn(&mut Self) -> Option<B>,
+    ) -> Option<(A, B)> {
+        self.eat(b'[')?;
+        self.ws();
+        let a = first(self)?;
+        self.ws();
+        self.eat(b',')?;
+        self.ws();
+        let b = second(self)?;
+        self.ws();
+        self.eat(b']')?;
+        Some((a, b))
+    }
+
+    fn edge(&mut self) -> Option<(u32, u32)> {
+        self.pair(Scan::int::<u32>, Scan::int::<u32>)
+    }
+
+    /// An object body: calls `field` per key (returning whether the key
+    /// was consumed), skipping unknown keys, bailing on any error.
+    fn object(&mut self, mut field: impl FnMut(&mut Self, &str) -> Option<bool>) -> Option<()> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.eat(b'}').is_some() {
+            return Some(());
+        }
+        loop {
+            self.ws();
+            let key = self.simple_string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            if !field(self, key)? {
+                self.skip_value(0)?;
+            }
+            self.ws();
+            if self.eat(b',').is_some() {
+                continue;
+            }
+            self.eat(b'}')?;
+            return Some(());
+        }
+    }
+
+    fn op(&mut self) -> Option<Operator> {
+        let mut ipt: Option<f64> = None;
+        self.object(|s, key| match key {
+            "ipt" => {
+                set(&mut ipt, s.f64()?)?;
+                Some(true)
+            }
+            _ => Some(false),
+        })?;
+        Some(Operator { ipt: ipt? })
+    }
+
+    fn channel(&mut self) -> Option<Channel> {
+        let mut payload: Option<f64> = None;
+        let mut selectivity: Option<f64> = None;
+        self.object(|s, key| match key {
+            "payload" => {
+                set(&mut payload, s.f64()?)?;
+                Some(true)
+            }
+            "selectivity" => {
+                set(&mut selectivity, s.f64()?)?;
+                Some(true)
+            }
+            _ => Some(false),
+        })?;
+        Some(Channel {
+            payload: payload?,
+            selectivity: selectivity?,
+        })
+    }
+
+    /// The `graph` object: `{"ops":[...],"edges":[...],"channels":[...]}`.
+    #[allow(clippy::type_complexity)]
+    fn graph(&mut self) -> Option<(Vec<Operator>, Vec<(u32, u32)>, Vec<Channel>)> {
+        let mut ops: Option<Vec<Operator>> = None;
+        let mut edges: Option<Vec<(u32, u32)>> = None;
+        let mut channels: Option<Vec<Channel>> = None;
+        self.object(|s, key| match key {
+            "ops" => {
+                set(&mut ops, s.array(Scan::op)?)?;
+                Some(true)
+            }
+            "edges" => {
+                set(&mut edges, s.array(Scan::edge)?)?;
+                Some(true)
+            }
+            "channels" => {
+                set(&mut channels, s.array(Scan::channel)?)?;
+                Some(true)
+            }
+            _ => Some(false),
+        })?;
+        Some((ops?, edges?, channels?))
+    }
+
+    fn delta(&mut self) -> Option<crate::delta::GraphDelta> {
+        let mut d = crate::delta::GraphDelta::default();
+        let mut seen = [false; 10];
+        let mut once = |slot: usize| -> Option<()> {
+            if seen[slot] {
+                return None;
+            }
+            seen[slot] = true;
+            Some(())
+        };
+        self.object(|s, key| {
+            match key {
+                "remove_nodes" => {
+                    once(0)?;
+                    d.remove_nodes = s.array(Scan::int::<u32>)?;
+                }
+                "add_nodes" => {
+                    once(1)?;
+                    d.add_nodes = s.array(Scan::op)?;
+                }
+                "remove_edges" => {
+                    once(2)?;
+                    d.remove_edges = s.array(Scan::edge)?;
+                }
+                "add_edges" => {
+                    once(3)?;
+                    d.add_edges = s.array(Scan::edge)?;
+                }
+                "add_channels" => {
+                    once(4)?;
+                    d.add_channels = s.array(Scan::channel)?;
+                }
+                "set_ipt" => {
+                    once(5)?;
+                    d.set_ipt = s.array(|s| s.pair(Scan::int::<u32>, Scan::f64))?;
+                }
+                "set_channel_edges" => {
+                    once(6)?;
+                    d.set_channel_edges = s.array(Scan::edge)?;
+                }
+                "set_channels" => {
+                    once(7)?;
+                    d.set_channels = s.array(Scan::channel)?;
+                }
+                "devices" => {
+                    once(8)?;
+                    d.devices = Some(s.int::<usize>()?);
+                }
+                "source_rate" => {
+                    once(9)?;
+                    d.source_rate = Some(s.f64()?);
+                }
+                _ => return Some(false),
+            }
+            Some(true)
+        })?;
+        Some(d)
+    }
+
+    /// Skip one well-formed JSON value of any shape (unknown fields).
+    fn skip_value(&mut self, depth: u32) -> Option<()> {
+        if depth > MAX_SKIP_DEPTH {
+            return None;
+        }
+        match self.peek()? {
+            b'{' => {
+                self.p += 1;
+                self.ws();
+                if self.eat(b'}').is_some() {
+                    return Some(());
+                }
+                loop {
+                    self.ws();
+                    self.skip_string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    self.skip_value(depth + 1)?;
+                    self.ws();
+                    if self.eat(b',').is_some() {
+                        continue;
+                    }
+                    return self.eat(b'}');
+                }
+            }
+            b'[' => {
+                self.p += 1;
+                self.ws();
+                if self.eat(b']').is_some() {
+                    return Some(());
+                }
+                loop {
+                    self.ws();
+                    self.skip_value(depth + 1)?;
+                    self.ws();
+                    if self.eat(b',').is_some() {
+                        continue;
+                    }
+                    return self.eat(b']');
+                }
+            }
+            b'"' => self.skip_string(),
+            b't' => self.literal(b"true"),
+            b'f' => self.literal(b"false"),
+            b'n' => self.literal(b"null"),
+            b'-' | b'0'..=b'9' => self.num_span().map(|_| ()),
+            _ => None,
+        }
+    }
+
+    /// Skip a string, escapes included, without decoding it. After a
+    /// backslash the next byte is consumed blindly — for `\uXXXX` the
+    /// hex digits contain no quote or backslash, so the scan resumes
+    /// correctly.
+    fn skip_string(&mut self) -> Option<()> {
+        self.eat(b'"')?;
+        loop {
+            match self.b.get(self.p)? {
+                b'"' => {
+                    self.p += 1;
+                    return Some(());
+                }
+                b'\\' => self.p += 2,
+                _ => self.p += 1,
+            }
+        }
+    }
+
+    fn literal(&mut self, text: &[u8]) -> Option<()> {
+        if self.b[self.p..].starts_with(text) {
+            self.p += text.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+}

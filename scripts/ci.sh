@@ -79,6 +79,34 @@ serve_smoke 1 4
 serve_smoke 2 2,4
 echo "serve smoke OK"
 
+# Realloc smoke: a fresh server, the `spg realloc` demo client (alloc ->
+# drift -> warm realloc), then the drift bench, which replays an empty
+# delta (must reproduce the prior response byte-for-byte), races the
+# warm-start realloc against a full re-allocation per scenario, and
+# merges the `drift` row into the bench_serve.json the perf gate below
+# reads. bench-serve --drift exits nonzero if any scenario errors, no
+# scenario takes the warm path, or the empty-delta replay diverges.
+"$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "spg serve never printed its listen address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+"$SPG" realloc --addr "$ADDR" --seed 1
+"$SPG" realloc --addr "$ADDR" --seed 2 --drift device-loss
+"$SPG" bench-serve --addr "$ADDR" --drift --graphs 4 --seed 0 \
+    --shutdown --out "$SMOKE_DIR/bench_serve.json"
+wait "$SERVE_PID"   # clean drain must exit 0
+echo "realloc smoke OK"
+
 # Perf-regression gate: re-measure the criterion microbenches (fast
 # sampling) plus the serve latency above, then compare against the
 # checked-in baselines. More than 25% slower on any tracked metric fails

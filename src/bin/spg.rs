@@ -17,7 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::cli::{
     AllocateArgs, BenchMatmulArgs, BenchServeArgs, CliError, Command, EvaluateArgs, GenerateArgs,
-    ReportArgs, ServeArgs, TrainArgs,
+    ReallocArgs, ReportArgs, ServeArgs, TrainArgs,
 };
 use spg::eval::evaluate_allocator;
 use spg::gen::DatasetSpec;
@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         Command::Allocate(args) => allocate(args),
         Command::Report(args) => report(args),
         Command::Serve(args) => serve(args),
+        Command::Realloc(args) => realloc(args),
         Command::BenchServe(args) => bench_serve(args),
         Command::BenchMatmul(args) => bench_matmul(args),
     }
@@ -379,6 +380,137 @@ fn serve(args: ServeArgs) -> ExitCode {
     }
 }
 
+/// Demo client for the incremental re-allocation path: alloc one seeded
+/// graph, build a drift delta against it, realloc warm-started from the
+/// prior placement, and print what the server did.
+fn realloc(args: ReallocArgs) -> ExitCode {
+    use spg::graph::wire::{shutdown_line, AllocRequest, ReallocRequest, WireResponse};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let spec = DatasetSpec::scaled_down(spg::gen::Setting::Small);
+    let devices = spec.cluster().devices;
+    let rate = spec.source_rate;
+    let graph = spg::gen::generate_graph(&spec, args.seed);
+    let scenario = match args.drift {
+        Some(kind) => spg::gen::DriftScenario {
+            kind,
+            delta: spg::gen::drift_delta(&graph, kind, devices, rate, args.seed),
+        },
+        None => spg::gen::drift_scenario(&graph, devices, rate, args.seed),
+    };
+
+    let stream = match TcpStream::connect(&args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to connect to {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = stream.set_read_timeout(Some(std::time::Duration::from_secs(30))) {
+        eprintln!("failed to set read timeout: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut out = match stream.try_clone() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("failed to clone connection: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: String| -> Result<spg::graph::wire::AllocResponse, String> {
+        out.write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut buf = String::new();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Err("server closed the connection".to_string()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+        match WireResponse::parse(buf.trim()) {
+            Ok(WireResponse::Ok(r)) => Ok(r),
+            Ok(WireResponse::Err(e)) => Err(format!("server error: {} ({})", e.error, e.detail)),
+            Err(e) => Err(format!("unparseable response: {e}")),
+        }
+    };
+
+    let prior = match roundtrip(
+        AllocRequest {
+            id: "realloc-prior".to_string(),
+            graph: graph.clone(),
+            source_rate: Some(rate),
+            devices: Some(devices),
+            v: Some(2),
+        }
+        .to_line(),
+    ) {
+        Ok(r) => r,
+        Err(why) => {
+            eprintln!("alloc failed: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "alloc: {} nodes on {} devices, relative {:.3}",
+        graph.num_nodes(),
+        devices,
+        prior.relative_throughput
+    );
+    println!(
+        "drift: {} (churn {:.3})",
+        scenario.kind.slug(),
+        scenario.delta.churn(&graph)
+    );
+
+    let realloc = match roundtrip(
+        ReallocRequest {
+            id: "realloc-drift".to_string(),
+            graph,
+            prior_placement: prior.placement.clone(),
+            delta: scenario.delta,
+            source_rate: Some(rate),
+            devices: Some(devices),
+            v: Some(2),
+        }
+        .to_line(),
+    ) {
+        Ok(r) => r,
+        Err(why) => {
+            eprintln!("realloc failed: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let moved = if realloc.placement.len() == prior.placement.len() {
+        realloc
+            .placement
+            .iter()
+            .zip(&prior.placement)
+            .filter(|(a, b)| a != b)
+            .count()
+    } else {
+        realloc.placement.len()
+    };
+    println!(
+        "realloc ({}): relative {:.3}, {} of {} operators moved",
+        realloc.realloc.as_deref().unwrap_or("unchanged"),
+        realloc.relative_throughput,
+        moved,
+        realloc.placement.len()
+    );
+
+    if args.shutdown {
+        let _ = out
+            .write_all(shutdown_line().as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush());
+    }
+    ExitCode::SUCCESS
+}
+
 fn bench_serve(args: BenchServeArgs) -> ExitCode {
     use serde::{Serialize, Value};
     // `--out` holds an object of `"r<replicas>c<connections>"` rows (the
@@ -396,6 +528,65 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
         },
         Err(_) => Vec::new(),
     };
+
+    if args.drift {
+        let cfg = spg::serve::BenchConfig {
+            addr: args.addr.clone(),
+            replicas: args.replicas,
+            connections: 1,
+            requests: args.requests,
+            graphs: args.graphs,
+            seed: args.seed,
+            rate: args.rate,
+            shutdown: args.shutdown,
+            serve_metrics: None,
+        };
+        let report = match spg::serve::run_drift_bench(&cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-serve --drift failed against {}: {e}", cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "drift: {}/{} warm-started ({} full re-allocs ok, {} errors), \
+             warm p50 {:.1} ms vs full p50 {:.1} ms (ratio {:.2}), \
+             min reward ratio {:.3}, replay consistent: {}",
+            report.warm_ok,
+            report.scenarios,
+            report.full_ok,
+            report.errors,
+            report.latency_p50_ms,
+            report.full_p50_ms,
+            report.latency_ratio,
+            report.min_reward_ratio,
+            report.consistent
+        );
+        let failure = if !report.consistent {
+            Some("empty-delta realloc diverged from the prior response")
+        } else if report.warm_ok == 0 {
+            Some("no realloc took the warm-start path")
+        } else if report.errors > 0 {
+            Some("drift scenarios returned errors")
+        } else {
+            None
+        };
+        rows.retain(|(k, _)| k != "drift");
+        rows.push(("drift".to_string(), report.serialize()));
+        rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let json = serde_json::to_string_pretty(&Value::Object(rows))
+            .expect("report serialization is infallible");
+        if let Err(e) = std::fs::write(&args.out, json + "\n") {
+            eprintln!("failed to write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", args.out.display());
+        if let Some(why) = failure {
+            eprintln!("FAIL: {why}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let mut failure = None;
     let last = args.connections.len() - 1;

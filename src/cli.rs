@@ -7,7 +7,7 @@
 //! README's CLI section is generated from).
 
 use spg_core::FaultPolicy;
-use spg_gen::Setting;
+use spg_gen::{DriftKind, Setting};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -26,6 +26,8 @@ pub enum Command {
     Report(ReportArgs),
     /// `spg serve` — run the long-lived allocation service.
     Serve(ServeArgs),
+    /// `spg realloc` — demo client for the incremental re-allocation path.
+    Realloc(ReallocArgs),
     /// `spg bench-serve` — open-loop load generator against `spg serve`.
     BenchServe(BenchServeArgs),
     /// `spg bench-matmul` — matmul kernel microbenchmark.
@@ -136,6 +138,19 @@ pub struct ServeArgs {
     pub metrics: Option<PathBuf>,
 }
 
+/// Arguments of `spg realloc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReallocArgs {
+    /// Address of a running `spg serve`.
+    pub addr: String,
+    /// Graph-generator / drift seed.
+    pub seed: u64,
+    /// Drift kind to exercise (`None` = cycled by seed).
+    pub drift: Option<DriftKind>,
+    /// Send a shutdown command to the server afterwards.
+    pub shutdown: bool,
+}
+
 /// Arguments of `spg bench-serve`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchServeArgs {
@@ -155,6 +170,9 @@ pub struct BenchServeArgs {
     pub rate: f64,
     /// Send a shutdown command to the server after the run.
     pub shutdown: bool,
+    /// Run the drift bench (warm-start realloc vs full re-allocation)
+    /// instead of the open-loop load sweep.
+    pub drift: bool,
     /// Where to write the JSON report.
     pub out: PathBuf,
     /// Telemetry JSONL file written by the server (`spg serve --metrics`);
@@ -206,6 +224,7 @@ pub fn general_help() -> String {
      \x20 allocate   place one graph with a trained model\n\
      \x20 report     summarize a training telemetry JSONL file\n\
      \x20 serve      run the long-lived allocation service (JSONL over TCP)\n\
+     \x20 realloc    demo client for incremental re-allocation under drift\n\
      \x20 bench-serve  open-loop load generator against a running `spg serve`\n\
      \x20 bench-matmul matmul kernel microbenchmark (strict or fast-math)\n\
      \n\
@@ -322,6 +341,22 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --metrics FILE  write telemetry events (JSONL) to FILE",
             settings_list()
         ),
+        "realloc" => "usage: spg realloc --addr A [options]\n\
+             \n\
+             Demo client for the incremental re-allocation path: allocates one\n\
+             seeded graph (protocol v2), builds a drift delta against it, asks\n\
+             the server to re-allocate warm-started from the prior placement,\n\
+             and prints both responses plus the path taken (warm|full).\n\
+             \n\
+             required:\n\
+             \x20 --addr A      address of a running `spg serve`\n\
+             \n\
+             options:\n\
+             \x20 --seed S      graph/drift seed (default 0)\n\
+             \x20 --drift K     drift kind: rate-ramp | hot-swap | device-loss\n\
+             \x20               (default: cycled by seed)\n\
+             \x20 --shutdown    send a shutdown command afterwards"
+            .to_string(),
         "bench-serve" => "usage: spg bench-serve --addr A [options]\n\
              \n\
              Open-loop seeded load generator: fires allocation requests at a\n\
@@ -343,6 +378,10 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --seed S         graph-generator seed (default 0)\n\
              \x20 --rate R         offered load in req/s (default 200)\n\
              \x20 --shutdown       send a shutdown command after the last run\n\
+             \x20 --drift          run the drift bench instead of the load sweep:\n\
+             \x20                  per seeded scenario, a warm-start realloc races a\n\
+             \x20                  full re-allocation of the mutated graph; the report\n\
+             \x20                  row is keyed `drift`\n\
              \x20 --out FILE       report path; rows keyed `r<replicas>c<conns>`\n\
              \x20                  are merged into an existing file\n\
              \x20                  (default BENCH_serve.json)\n\
@@ -445,6 +484,7 @@ impl Command {
             "allocate" => Self::parse_allocate(rest),
             "report" => Self::parse_report(rest),
             "serve" => Self::parse_serve(rest),
+            "realloc" => Self::parse_realloc(rest),
             "bench-serve" => Self::parse_bench_serve(rest),
             "bench-matmul" => Self::parse_bench_matmul(rest),
             other => Err(CliError::Usage(format!(
@@ -659,6 +699,36 @@ impl Command {
         }))
     }
 
+    fn parse_realloc(rest: &[String]) -> Result<Self, CliError> {
+        let mut a = Args::new("realloc", rest);
+        let (mut addr, mut drift) = (None, None);
+        let (mut seed, mut shutdown) = (0u64, false);
+        while let Some(arg) = a.rest.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(CliError::Help(command_help("realloc"))),
+                "--addr" => addr = Some(a.value("addr")?.to_string()),
+                "--seed" => seed = parse_num("realloc", "seed", a.value("seed")?)?,
+                "--drift" => {
+                    let text = a.value("drift")?;
+                    drift = Some(DriftKind::from_slug(text).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "invalid value `{text}` for --drift (one of: rate-ramp|hot-swap|\
+                             device-loss; see `spg realloc --help`)"
+                        ))
+                    })?);
+                }
+                "--shutdown" => shutdown = true,
+                other => return Err(a.unknown(other)),
+            }
+        }
+        Ok(Command::Realloc(ReallocArgs {
+            addr: addr.ok_or_else(|| a.missing("addr"))?,
+            seed,
+            drift,
+            shutdown,
+        }))
+    }
+
     fn parse_bench_serve(rest: &[String]) -> Result<Self, CliError> {
         let mut a = Args::new("bench-serve", rest);
         let mut addr = None;
@@ -666,6 +736,7 @@ impl Command {
         let mut connections = vec![4usize];
         let mut replicas = 1usize;
         let (mut seed, mut rate, mut shutdown) = (0u64, 200.0f64, false);
+        let mut drift = false;
         let mut out = PathBuf::from("BENCH_serve.json");
         let mut serve_metrics = None;
         while let Some(arg) = a.rest.next() {
@@ -711,6 +782,7 @@ impl Command {
                     }
                 }
                 "--shutdown" => shutdown = true,
+                "--drift" => drift = true,
                 "--out" => out = PathBuf::from(a.value("out")?),
                 "--serve-metrics" => serve_metrics = Some(PathBuf::from(a.value("serve-metrics")?)),
                 other => return Err(a.unknown(other)),
@@ -725,6 +797,7 @@ impl Command {
             seed,
             rate,
             shutdown,
+            drift,
             out,
             serve_metrics,
         }))
@@ -968,6 +1041,7 @@ mod tests {
             "allocate",
             "report",
             "serve",
+            "realloc",
             "bench-serve",
         ] {
             let Err(CliError::Help(text)) = parse(&format!("{cmd} --help")) else {
@@ -1025,6 +1099,7 @@ mod tests {
         assert_eq!(b.replicas, 1);
         assert_eq!((b.requests, b.graphs), (64, 8));
         assert_eq!((b.seed, b.rate, b.shutdown), (0, 200.0, false));
+        assert!(!b.drift);
         assert_eq!(b.out, PathBuf::from("BENCH_serve.json"));
 
         let Command::BenchServe(b) = parse(
@@ -1049,6 +1124,45 @@ mod tests {
             panic!()
         };
         assert!(msg.contains("--addr is required"), "{msg}");
+    }
+
+    #[test]
+    fn bench_serve_drift_flag() {
+        let Command::BenchServe(b) = parse("bench-serve --addr h:1 --drift --shutdown").unwrap()
+        else {
+            panic!()
+        };
+        assert!(b.drift && b.shutdown);
+    }
+
+    #[test]
+    fn realloc_defaults_drift_kinds_and_errors() {
+        let Command::Realloc(r) = parse("realloc --addr h:1").unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.addr, "h:1");
+        assert_eq!((r.seed, r.drift, r.shutdown), (0, None, false));
+
+        let Command::Realloc(r) =
+            parse("realloc --addr h:1 --seed 3 --drift device-loss --shutdown").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.seed, 3);
+        assert_eq!(r.drift, Some(DriftKind::DeviceLoss));
+        assert!(r.shutdown);
+
+        let Err(CliError::Usage(msg)) = parse("realloc") else {
+            panic!()
+        };
+        assert!(msg.contains("--addr is required"), "{msg}");
+        let Err(CliError::Usage(msg)) = parse("realloc --addr h:1 --drift sideways") else {
+            panic!()
+        };
+        assert!(
+            msg.contains("`sideways`") && msg.contains("hot-swap"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Integration tests for incremental re-allocation over the wire:
+//! empty-delta byte-identity, warm-start determinism against the
+//! library decision, the high-churn full-pipeline fallback, degenerate
+//! deltas, and protocol-version enforcement.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg::gen::{drift_scenario, DatasetSpec, Setting};
+use spg::graph::wire::{shutdown_line, AllocRequest, ReallocRequest, WireResponse};
+use spg::graph::{GraphDelta, Operator, StreamGraph, StreamGraphBuilder};
+use spg::model::checkpoint::Checkpoint;
+use spg::model::pipeline::MetisCoarsePlacer;
+use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
+use spg::obs::TelemetrySink;
+use spg::partition::{realloc_decide, IncrementalConfig, ReallocDecision};
+use spg::serve::{ServeConfig, ServeReport, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn quick_checkpoint(seed: u64, extra_graphs: Vec<StreamGraph>) -> Checkpoint {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let mut graphs: Vec<_> = (0..4u64)
+        .map(|s| spg::gen::generate_graph(&spec, seed + s))
+        .collect();
+    graphs.extend(extra_graphs);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let model = CoarsenModel::new(CoarsenConfig::default(), &mut rng);
+    let mut trainer = ReinforceTrainer::builder(model, MetisCoarsePlacer::new(seed))
+        .graphs(graphs)
+        .cluster(spec.cluster())
+        .source_rate(spec.source_rate)
+        .options(TrainOptions::new().seed(seed))
+        .build();
+    trainer.train_epoch();
+    trainer.checkpoint()
+}
+
+fn spawn_server(
+    cfg: ServeConfig,
+    ck: Checkpoint,
+) -> (String, std::thread::JoinHandle<ServeReport>) {
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let sink = TelemetrySink::disabled();
+        server
+            .run(ck, spec.cluster(), spec.source_rate, &sink)
+            .expect("serve run")
+    });
+    (addr, handle)
+}
+
+struct Client {
+    out: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("read timeout");
+        Self {
+            out: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.out.write_all(line.as_bytes()).expect("write");
+        self.out.write_all(b"\n").expect("write newline");
+        self.out.flush().expect("flush");
+    }
+
+    /// Raw response line, trimmed — for byte-identity assertions.
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read line");
+        line.trim().to_string()
+    }
+
+    fn read_response(&mut self) -> WireResponse {
+        let line = self.read_line();
+        WireResponse::parse(&line).expect("parse response")
+    }
+
+    fn shutdown(mut self) {
+        self.send_line(shutdown_line());
+    }
+}
+
+fn alloc_v2(id: &str, graph: &StreamGraph) -> AllocRequest {
+    AllocRequest {
+        id: id.to_string(),
+        graph: graph.clone(),
+        source_rate: None,
+        devices: None,
+        v: Some(2),
+    }
+}
+
+fn realloc_v2(id: &str, graph: &StreamGraph, prior: &[u32], delta: GraphDelta) -> ReallocRequest {
+    ReallocRequest {
+        id: id.to_string(),
+        graph: graph.clone(),
+        prior_placement: prior.to_vec(),
+        delta,
+        source_rate: None,
+        devices: None,
+        v: Some(2),
+    }
+}
+
+#[test]
+fn empty_delta_realloc_reproduces_prior_response_bytes() {
+    let ck = quick_checkpoint(21, vec![]);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g = spg::gen::generate_graph(&spec, 77);
+
+    let mut client = Client::connect(&addr);
+    client.send_line(&alloc_v2("same", &g).to_line());
+    let prior_line = client.read_line();
+    let WireResponse::Ok(prior) = WireResponse::parse(&prior_line).expect("parse") else {
+        panic!("alloc must succeed: {prior_line}")
+    };
+
+    // Same id, empty delta: the response must be the prior response,
+    // byte for byte — same placement, same relative-throughput bits,
+    // no cache flag, no realloc marker.
+    client.send_line(&realloc_v2("same", &g, &prior.placement, GraphDelta::default()).to_line());
+    let replay_line = client.read_line();
+    assert_eq!(
+        replay_line, prior_line,
+        "empty-delta realloc must reproduce the prior response bytes"
+    );
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.responses, 2);
+    assert_eq!(report.reallocs, 1);
+    assert_eq!(report.warm_starts, 0, "empty delta is not a warm start");
+}
+
+#[test]
+fn sub_threshold_drift_pins_the_library_warm_start() {
+    let ck = quick_checkpoint(22, vec![]);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let cluster = spec.cluster();
+    let inc = IncrementalConfig::default();
+
+    let mut client = Client::connect(&addr);
+    let mut warm_seen = 0;
+    for seed in 0..6u64 {
+        let g = spg::gen::generate_graph(&spec, 200 + seed);
+        client.send_line(&alloc_v2(&format!("p{seed}"), &g).to_line());
+        let WireResponse::Ok(prior) = client.read_response() else {
+            panic!("alloc {seed} must succeed")
+        };
+
+        let scenario = drift_scenario(&g, cluster.devices, spec.source_rate, seed);
+        client.send_line(
+            &realloc_v2(
+                &format!("r{seed}"),
+                &g,
+                &prior.placement,
+                scenario.delta.clone(),
+            )
+            .to_line(),
+        );
+        let WireResponse::Ok(resp) = client.read_response() else {
+            panic!("realloc {seed} must succeed")
+        };
+
+        // The server must answer exactly what the library decides for
+        // the same inputs — the wire adds no nondeterminism.
+        let decision = realloc_decide(
+            &g,
+            &prior.placement,
+            &scenario.delta,
+            &cluster,
+            spec.source_rate,
+            &inc,
+        )
+        .expect("drift deltas are valid");
+        match decision {
+            ReallocDecision::Warm {
+                placement,
+                relative,
+                ..
+            } => {
+                warm_seen += 1;
+                assert_eq!(resp.realloc.as_deref(), Some("warm"), "seed {seed}");
+                assert_eq!(resp.placement, placement.as_slice(), "seed {seed}");
+                assert_eq!(
+                    resp.relative_throughput.to_bits(),
+                    relative.to_bits(),
+                    "seed {seed}"
+                );
+            }
+            ReallocDecision::Unchanged { relative } => {
+                assert_eq!(resp.realloc, None, "seed {seed}");
+                assert_eq!(resp.placement, prior.placement, "seed {seed}");
+                assert_eq!(
+                    resp.relative_throughput.to_bits(),
+                    relative.to_bits(),
+                    "seed {seed}"
+                );
+            }
+            ReallocDecision::Full { .. } => {
+                panic!("drift scenarios are sub-threshold by construction (seed {seed})")
+            }
+        }
+        assert!(
+            resp.relative_throughput.is_finite() && resp.relative_throughput >= 0.0,
+            "seed {seed}: relative {}",
+            resp.relative_throughput
+        );
+    }
+    assert!(
+        warm_seen >= 2,
+        "expected several warm starts, got {warm_seen}"
+    );
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.reallocs, 6);
+    assert_eq!(report.warm_starts, warm_seen);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn high_churn_fallback_is_bitwise_identical_to_plain_alloc() {
+    let ck = quick_checkpoint(23, vec![]);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g = spg::gen::generate_graph(&spec, 301);
+
+    // Enough added nodes to cross the churn threshold.
+    let extra = (g.num_nodes() + g.num_edges()) / 2 + 1;
+    let delta = GraphDelta {
+        add_nodes: (0..extra).map(|i| Operator::new(40.0 + i as f64)).collect(),
+        ..GraphDelta::default()
+    };
+    let mutated = delta.apply(&g).expect("delta applies").graph;
+
+    let mut client = Client::connect(&addr);
+    client.send_line(&alloc_v2("prior", &g).to_line());
+    let WireResponse::Ok(prior) = client.read_response() else {
+        panic!("alloc must succeed")
+    };
+    client.send_line(&realloc_v2("fb", &g, &prior.placement, delta).to_line());
+    let WireResponse::Ok(fallback) = client.read_response() else {
+        panic!("realloc must succeed")
+    };
+    assert_eq!(fallback.realloc.as_deref(), Some("full"));
+
+    // The fallback must be indistinguishable from allocating the
+    // mutated graph directly.
+    client.send_line(&alloc_v2("direct", &mutated).to_line());
+    let WireResponse::Ok(direct) = client.read_response() else {
+        panic!("direct alloc must succeed")
+    };
+    assert_eq!(fallback.placement, direct.placement);
+    assert_eq!(
+        fallback.relative_throughput.to_bits(),
+        direct.relative_throughput.to_bits()
+    );
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.warm_starts, 0);
+    assert_eq!(report.errors, 0);
+}
+
+#[test]
+fn degenerate_graphs_and_deltas_round_trip() {
+    let one = {
+        let mut b = StreamGraphBuilder::new();
+        b.add_node(Operator::new(150.0));
+        b.finish().expect("1-node graph is valid")
+    };
+    let edgeless = {
+        let mut b = StreamGraphBuilder::new();
+        for i in 0..3 {
+            b.add_node(Operator::new(100.0 + i as f64));
+        }
+        b.finish().expect("edgeless graph is valid")
+    };
+    let ck = quick_checkpoint(24, vec![one.clone(), edgeless.clone()]);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let mut client = Client::connect(&addr);
+
+    // 1-node graph, workload-only delta.
+    client.send_line(&alloc_v2("one", &one).to_line());
+    let WireResponse::Ok(p1) = client.read_response() else {
+        panic!("1-node alloc must succeed")
+    };
+    let bump = GraphDelta {
+        set_ipt: vec![(0, 300.0)],
+        ..GraphDelta::default()
+    };
+    client.send_line(&realloc_v2("one-r", &one, &p1.placement, bump).to_line());
+    let WireResponse::Ok(r1) = client.read_response() else {
+        panic!("1-node realloc must succeed")
+    };
+    assert_eq!(r1.placement.len(), 1);
+
+    // 0-edge graph, node-add delta (still no edges).
+    client.send_line(&alloc_v2("flat", &edgeless).to_line());
+    let WireResponse::Ok(p2) = client.read_response() else {
+        panic!("edgeless alloc must succeed")
+    };
+    let grow = GraphDelta {
+        add_nodes: vec![Operator::new(90.0)],
+        ..GraphDelta::default()
+    };
+    client.send_line(&realloc_v2("flat-r", &edgeless, &p2.placement, grow).to_line());
+    let WireResponse::Ok(r2) = client.read_response() else {
+        panic!("edgeless realloc must succeed")
+    };
+    assert_eq!(r2.placement.len(), 4);
+
+    // Deleting the only node leaves an unusable graph: a named error,
+    // not a dropped connection.
+    let erase = GraphDelta {
+        remove_nodes: vec![0],
+        ..GraphDelta::default()
+    };
+    client.send_line(&realloc_v2("erase", &one, &p1.placement, erase).to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("emptying delta must be an error")
+    };
+    assert_eq!(e.error, "invalid-graph");
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.reallocs, 3);
+    assert_eq!(report.errors, 1);
+}
+
+#[test]
+fn protocol_and_shape_violations_are_named_errors() {
+    let ck = quick_checkpoint(25, vec![]);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g = spg::gen::generate_graph(&spec, 55);
+
+    let mut client = Client::connect(&addr);
+    client.send_line(&alloc_v2("prior", &g).to_line());
+    let WireResponse::Ok(prior) = client.read_response() else {
+        panic!("alloc must succeed")
+    };
+
+    // Realloc without v:2 is refused before any work happens.
+    let mut v1 = realloc_v2("v1", &g, &prior.placement, GraphDelta::default());
+    v1.v = None;
+    client.send_line(&v1.to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("v1 realloc must be rejected")
+    };
+    assert_eq!(e.error, "bad-request");
+    assert!(e.detail.contains("v2"), "{}", e.detail);
+
+    // Prior placement of the wrong length.
+    let short = realloc_v2("short", &g, &prior.placement[..1], GraphDelta::default());
+    client.send_line(&short.to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("short placement must be rejected")
+    };
+    assert_eq!(e.error, "bad-request");
+
+    // Placement referencing a device outside the cluster.
+    let mut bogus = prior.placement.clone();
+    bogus[0] = 10_000;
+    client.send_line(&realloc_v2("bogus", &g, &bogus, GraphDelta::default()).to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("out-of-range device must be rejected")
+    };
+    assert_eq!(e.error, "bad-request");
+
+    // The connection still answers valid requests afterwards.
+    client.send_line(&realloc_v2("ok", &g, &prior.placement, GraphDelta::default()).to_line());
+    let WireResponse::Ok(ok) = client.read_response() else {
+        panic!("valid realloc after errors must succeed")
+    };
+    assert_eq!(ok.placement, prior.placement);
+    client.shutdown();
+    handle.join().expect("server thread");
+}

@@ -278,13 +278,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
+                    // Consume the maximal run up to the next quote or
+                    // escape and validate it once. (Multi-byte UTF-8
+                    // units are all ≥ 0x80, so the byte scan can't
+                    // split a scalar.) Validating per character meant
+                    // re-checking the whole remaining buffer each time,
+                    // which made parsing quadratic in document size.
                     let start = self.pos;
-                    let text = std::str::from_utf8(&self.bytes[start..])
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error("invalid utf-8".into()))?;
-                    let c = text.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    s.push_str(text);
                 }
             }
         }
