@@ -231,6 +231,38 @@ impl Summary {
             }
         }
 
+        // Serving faults: only when a serve run actually hit (usually
+        // injected) faults or shed load, so healthy serve reports and
+        // training reports stay unchanged.
+        let serve_fault_counters = [
+            ("serve.fault.panics_caught", "panics caught in place"),
+            ("serve.fault.replica_restarts", "replica restarts"),
+            ("serve.fault.inflight_failed", "in-flight failed on restart"),
+            ("serve.fault.shed_deadline", "shed past request deadline"),
+            ("serve.fault.shed_overload", "shed past the watermark"),
+            ("serve.fault.conns_dropped", "connections dropped"),
+            ("serve.fault.torn_writes", "torn writes"),
+            ("serve.fault.supervisor_panics", "supervisor panics (BUG)"),
+        ];
+        if serve_fault_counters
+            .iter()
+            .any(|(n, _)| self.counter(n).is_some())
+        {
+            let _ = writeln!(out, "\nserving faults & degradation:");
+            let label_w = serve_fault_counters
+                .iter()
+                .map(|(_, l)| l.len())
+                .max()
+                .unwrap();
+            for (name, label) in serve_fault_counters {
+                let _ = writeln!(
+                    out,
+                    "  {label:<label_w$}  {}",
+                    self.counter(name).unwrap_or(0)
+                );
+            }
+        }
+
         // Serving replicas: one row per shard when a cluster-mode serve
         // run logged per-replica counters (absent for training runs and
         // pre-replica metrics files, so those reports stay unchanged).
@@ -434,6 +466,27 @@ mod tests {
         // Unrecorded fault counters render as 0 once the section shows.
         assert!(text.contains("epoch rollbacks"), "{text}");
         assert!(text.contains("resumes from checkpoint"), "{text}");
+    }
+
+    #[test]
+    fn serve_faults_section_renders_only_when_faults_happened() {
+        let lines = sample_lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        assert!(!s.render().contains("serving faults"));
+
+        let sink = TelemetrySink::memory();
+        sink.counter("serve.fault.replica_restarts", 2);
+        sink.counter("serve.fault.inflight_failed", 3);
+        sink.counter("serve.fault.shed_deadline", 7);
+        let lines = sink.lines();
+        let s = Summary::from_lines(lines.iter().map(|l| l.as_str())).unwrap();
+        let text = s.render();
+        assert!(text.contains("serving faults & degradation"), "{text}");
+        assert!(text.contains("replica restarts"), "{text}");
+        assert!(text.contains("in-flight failed on restart"), "{text}");
+        assert!(text.contains("shed past request deadline"), "{text}");
+        // Unrecorded fault counters render as 0 once the section shows.
+        assert!(text.contains("torn writes"), "{text}");
     }
 
     #[test]

@@ -109,6 +109,8 @@ pub struct BenchReport {
 impl BenchReport {
     /// Pretty-printed JSON, the `BENCH_serve.json` format.
     pub fn to_json(&self) -> String {
+        // Cannot fire: the struct is numbers, bools, and options of
+        // numbers — none of which have a failing Serialize impl.
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
 }
@@ -160,12 +162,19 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
             }));
         }
         for h in handles {
-            h.join().expect("bench connection panicked")?;
+            // A panicked connection thread is a bench bug; name it as
+            // an I/O error instead of tearing down the process.
+            match h.join() {
+                Ok(res) => res?,
+                Err(_) => {
+                    return Err(std::io::Error::other("bench connection thread panicked"));
+                }
+            }
         }
         elapsed_s = (Instant::now().saturating_duration_since(start)).as_secs_f64();
         Ok(())
     })
-    .expect("bench thread panicked")?;
+    .map_err(|_| std::io::Error::other("bench scope panicked"))??;
 
     if cfg.shutdown {
         let mut ctl = TcpStream::connect(&cfg.addr)?;
@@ -178,7 +187,11 @@ pub fn run_bench(cfg: &BenchConfig) -> std::io::Result<BenchReport> {
         _ => (None, None),
     };
 
-    let samples = samples.into_inner().expect("sample lock poisoned");
+    // Poisoning only marks that some thread panicked while holding the
+    // lock; a `push` leaves the Vec valid either way, so unpoison.
+    let samples = samples
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     assert!(
         samples.len() <= cfg.requests,
         "collected {} samples for {} requests — duplicate or phantom responses",
@@ -313,11 +326,14 @@ fn run_connection(
                             counts.parse_errors.fetch_add(1, Ordering::Relaxed);
                             continue;
                         };
-                        samples.lock().expect("sample lock poisoned").push(Sample {
-                            graph_index: gi,
-                            latency_ms: at.elapsed().as_secs_f64() * 1e3,
-                            response: resp,
-                        });
+                        samples
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push(Sample {
+                                graph_index: gi,
+                                latency_ms: at.elapsed().as_secs_f64() * 1e3,
+                                response: resp,
+                            });
                     }
                     Err(_) => {
                         counts.timeouts.fetch_add(pending.len(), Ordering::Relaxed);
@@ -337,13 +353,23 @@ fn run_connection(
                 source_rate: None,
                 devices: None,
                 v: None,
+                deadline_ms: None,
             };
-            out.write_all(req.to_line().as_bytes())?;
-            out.write_all(b"\n")?;
-            out.flush()?;
+            // A send failure means the server cut this connection
+            // (possibly by injected fault). Stop sending — the reader
+            // sees EOF and classifies everything still pending as
+            // short reads — instead of failing the whole bench.
+            if out.write_all(req.to_line().as_bytes()).is_err()
+                || out.write_all(b"\n").is_err()
+                || out.flush().is_err()
+            {
+                break;
+            }
         }
-        out.shutdown(std::net::Shutdown::Write)?;
-        reader.join().expect("bench reader panicked");
+        let _ = out.shutdown(std::net::Shutdown::Write);
+        reader
+            .join()
+            .map_err(|_| std::io::Error::other("bench reader thread panicked"))?;
         Ok(())
     })
 }
@@ -382,6 +408,7 @@ pub struct DriftReport {
 impl DriftReport {
     /// Pretty-printed JSON, the `BENCH_serve.json` row format.
     pub fn to_json(&self) -> String {
+        // Cannot fire: the struct is all plain floats and integers.
         serde_json::to_string_pretty(self).expect("report serialization is infallible")
     }
 }
@@ -436,6 +463,7 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
             source_rate: Some(rate),
             devices: Some(devices),
             v: Some(2),
+            deadline_ms: None,
         };
         let (resp, _) = roundtrip(prior_req.to_line())?;
         let WireResponse::Ok(prior) = resp else {
@@ -452,6 +480,7 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
             source_rate: Some(rate),
             devices: Some(devices),
             v: Some(2),
+            deadline_ms: None,
         };
         match roundtrip(replay.to_line())? {
             (WireResponse::Ok(r), _) => {
@@ -474,6 +503,7 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
             source_rate: Some(scenario.delta.source_rate.unwrap_or(rate)),
             devices: Some(scenario.delta.devices.unwrap_or(devices)),
             v: Some(2),
+            deadline_ms: None,
         };
         let (resp, full_ms) = roundtrip(full_req.to_line())?;
         let WireResponse::Ok(full) = resp else {
@@ -491,6 +521,7 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
             source_rate: Some(rate),
             devices: Some(devices),
             v: Some(2),
+            deadline_ms: None,
         };
         let (resp, warm_ms) = roundtrip(warm_req.to_line())?;
         let WireResponse::Ok(warm) = resp else {

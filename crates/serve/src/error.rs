@@ -20,6 +20,9 @@ pub enum ServeError {
     InvalidGraph(String),
     /// The request out-waited its deadline in the queue.
     Timeout { waited_ms: u128, deadline_ms: u64 },
+    /// The request's own `deadline_ms` budget lapsed before a replica
+    /// reached it; it was shed before inference.
+    DeadlineExceeded { waited_ms: u128, deadline_ms: u64 },
     /// The shard's bounded queue was full — backpressure, not buffering.
     Overloaded { queue_capacity: usize },
     /// The server is draining; no new work is admitted.
@@ -40,6 +43,12 @@ impl ServeError {
                 waited_ms,
                 deadline_ms,
             } => WireError::Timeout(format!("queued {waited_ms} ms, deadline {deadline_ms} ms")),
+            ServeError::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => WireError::DeadlineExceeded(format!(
+                "queued {waited_ms} ms past the request's {deadline_ms} ms budget"
+            )),
             ServeError::Overloaded { queue_capacity } => {
                 WireError::Overloaded(format!("request queue full ({queue_capacity} pending)"))
             }
@@ -82,6 +91,10 @@ mod tests {
                 waited_ms: 6000,
                 deadline_ms: 5000,
             },
+            ServeError::DeadlineExceeded {
+                waited_ms: 300,
+                deadline_ms: 250,
+            },
             ServeError::Overloaded { queue_capacity: 64 },
             ServeError::Draining,
             ServeError::Internal("x".into()),
@@ -98,6 +111,7 @@ mod tests {
                 "bad-request",
                 "invalid-graph",
                 "timeout",
+                "deadline-exceeded",
                 "overloaded",
                 "draining",
                 "internal",

@@ -36,8 +36,16 @@ use spg_graph::{
 };
 use spg_obs::TelemetrySink;
 use spg_partition::{realloc_decide, IncrementalConfig, ReallocDecision};
+use spg_sim::inject;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// How long an injected [`inject::Fault::Stall`] parks the replica —
+/// long enough to build observable queue depth, short enough for tests.
+const INJECTED_STALL: Duration = Duration::from_millis(400);
 
 /// What a [`Job`] asks for: a fresh allocation, or an incremental
 /// re-allocation from a prior placement through a graph delta.
@@ -54,6 +62,9 @@ pub(crate) enum JobKind {
 
 /// A validated allocation request, routed to this replica's queue.
 pub(crate) struct Job {
+    /// Router-assigned sequence number: the key under which the job is
+    /// tracked in the shard's [`FlightTable`] while a replica holds it.
+    pub seq: u64,
     pub id: String,
     /// For a realloc this is the *prior* graph; the replica applies the
     /// delta itself.
@@ -64,10 +75,24 @@ pub(crate) struct Job {
     pub kind: JobKind,
     /// Negotiated protocol version (1 unless the request said otherwise).
     pub version: u64,
+    /// The request's own usefulness budget (v2 `deadline_ms`): lapsed
+    /// jobs are shed before encode with `deadline-exceeded`.
+    pub deadline_ms: Option<u64>,
+    /// Set by the router past the shed watermark: answer from the LRU
+    /// or shed as `overloaded` — no inference for this job.
+    pub cache_only: bool,
     /// Which connection to deliver the answer to.
     pub conn: u64,
     pub enqueued: Instant,
 }
+
+/// The in-flight ledger a shard supervisor shares with its replica
+/// incarnations: `(conn, request id)` of every job dequeued but not yet
+/// answered, keyed by [`Job::seq`]. When an incarnation dies, the
+/// supervisor drains this and answers each entry with `internal` — the
+/// one-response-per-request invariant survives the panic. Single
+/// thread, two scopes (loop and supervisor), hence `RefCell` not a lock.
+pub(crate) type FlightTable = RefCell<HashMap<u64, (u64, String)>>;
 
 /// A finished response line, heading back to the I/O loop.
 pub(crate) struct Completion {
@@ -76,10 +101,19 @@ pub(crate) struct Completion {
     pub line: String,
 }
 
-/// Run one replica until the router hangs up; returns this shard's
-/// share of the serve report.
+/// Run one shard under supervision until the router hangs up; returns
+/// the shard's share of the serve report.
+///
+/// Each iteration runs one replica *incarnation* ([`replica_loop`])
+/// under `catch_unwind`. A clean return is the drain signal. A panic
+/// answers every job the dead incarnation had dequeued (the
+/// [`FlightTable`]) with `internal`, bumps the generation — which
+/// remaps [`inject::replica_key`] so a pinned fault stops firing — and
+/// respawns a fresh incarnation from the retained checkpoint: new model
+/// materialization, new batcher state, new (cold) LRU shard. Jobs still
+/// buffered in the queue are untouched and served by the successor.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn replica_loop(
+pub(crate) fn supervise_shard(
     shard: u32,
     checkpoint: Checkpoint,
     rx: mpsc::Receiver<Job>,
@@ -89,17 +123,102 @@ pub(crate) fn replica_loop(
     base_cluster: ClusterSpec,
     sink: &TelemetrySink,
 ) -> ServeReport {
+    let mut report = ServeReport::default();
+    let flight = FlightTable::default();
+    let mut generation: u64 = 0;
+    loop {
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            replica_loop(
+                shard,
+                checkpoint.clone(),
+                &rx,
+                &done,
+                &waker,
+                cfg,
+                base_cluster,
+                sink,
+                &mut report,
+                &flight,
+                generation,
+            )
+        }));
+        match run {
+            Ok(()) => break,
+            Err(_) => {
+                // Answer everything the dead incarnation was holding:
+                // the client gets `internal` now instead of silence.
+                let orphans: Vec<(u64, String)> = flight
+                    .borrow_mut()
+                    .drain()
+                    .map(|(_, entry)| entry)
+                    .collect();
+                let err = ServeError::Internal(format!("replica {shard} restarted after a panic"));
+                for (conn, id) in orphans {
+                    report.errors += 1;
+                    sink.counter("serve.fault.inflight_failed", 1);
+                    let line = err.response(Some(id)).to_line();
+                    let _ = done.send(Completion { conn, shard, line });
+                }
+                report.replica_restarts += 1;
+                sink.counter("serve.fault.replica_restarts", 1);
+                generation += 1;
+                waker.wake();
+            }
+        }
+    }
+    sink.counter(
+        &format!("serve.replica.{shard}.responses"),
+        report.responses,
+    );
+    sink.counter(&format!("serve.replica.{shard}.errors"), report.errors);
+    sink.counter(&format!("serve.replica.{shard}.batches"), report.batches);
+    sink.counter(
+        &format!("serve.replica.{shard}.cache_hits"),
+        report.cache_hits,
+    );
+    let lookups = report.cache_hits + report.cache_misses;
+    if lookups > 0 {
+        sink.gauge(
+            &format!("serve.replica.{shard}.shard_hit_rate"),
+            report.cache_hits as f64 / lookups as f64,
+        );
+    }
+    // One last wake: the I/O loop notices this sender is gone and can
+    // finish its drain bookkeeping.
+    waker.wake();
+    report
+}
+
+/// Run one replica incarnation until the router hangs up (clean drain)
+/// or a panic unwinds into the supervisor. Cumulative counts go through
+/// `report`, which lives in the supervisor so they survive a panic.
+#[allow(clippy::too_many_arguments)]
+fn replica_loop(
+    shard: u32,
+    checkpoint: Checkpoint,
+    rx: &mpsc::Receiver<Job>,
+    done: &mpsc::Sender<Completion>,
+    waker: &Waker,
+    cfg: &ServeConfig,
+    base_cluster: ClusterSpec,
+    sink: &TelemetrySink,
+    report: &mut ServeReport,
+    flight: &FlightTable,
+    generation: u64,
+) {
     let model = checkpoint.into_model();
     let policy = CoarseningPolicy::from_config(&model.config);
     let placer = MetisCoarsePlacer::new(cfg.seed);
     let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
     let mut union = BatchUnion::new();
     let mut scratch = InferenceScratch::new();
-    let mut report = ServeReport::default();
     let timeout = Duration::from_millis(cfg.request_timeout_ms);
     let workers = cfg.workers.clamp(1, rollout::default_workers());
     let inc_cfg = IncrementalConfig::default();
-    let respond = |conn: u64, line: String| {
+    // Every answer path retires its flight entry *before* the send, so
+    // a panic can never double-answer a request.
+    let respond = |seq: u64, conn: u64, line: String| {
+        flight.borrow_mut().remove(&seq);
         let _ = done.send(Completion { conn, shard, line });
     };
     let v2_fields = |version: u64| {
@@ -118,25 +237,77 @@ pub(crate) fn replica_loop(
                 Err(_) => break,
             }
         }
+        // Dequeued jobs enter the flight ledger before any fallible
+        // work: from here on, a replica death answers them `internal`.
+        {
+            let mut inflight = flight.borrow_mut();
+            for job in &jobs {
+                inflight.insert(job.seq, (job.conn, job.id.clone()));
+            }
+        }
 
         let _batch_span = sink.span("serve.batch");
         sink.hist("serve.batch_size", jobs.len() as f64);
         report.batches += 1;
 
-        // Deadline + queue-wait accounting, then the shard-LRU pass.
+        // Admission: injected faults, the request's own deadline, the
+        // server deadline, the shard LRU, then the watermark shed.
         let now = Instant::now();
         let mut todo: Vec<Job> = Vec::with_capacity(jobs.len());
         let mut reallocs: Vec<Job> = Vec::new();
         for job in jobs {
+            match inject::at(
+                inject::Site::ReplicaWork,
+                inject::replica_key(job.fingerprint, generation),
+            ) {
+                // An unguarded panic: the incarnation dies and the
+                // supervisor answers the flight ledger.
+                Some(inject::Fault::Kill) => {
+                    panic!("injected replica kill (shard {shard})")
+                }
+                Some(inject::Fault::Stall) => std::thread::sleep(INJECTED_STALL),
+                // A panic through the same catch_unwind isolation an
+                // organic per-request panic gets: this request fails
+                // alone, the incarnation lives.
+                Some(inject::Fault::WorkerPanic) => {
+                    let _ = std::panic::catch_unwind(|| {
+                        panic!("injected worker panic (shard {shard})")
+                    });
+                    report.errors += 1;
+                    report.panics_caught += 1;
+                    sink.counter("serve.fault.panics_caught", 1);
+                    let err =
+                        ServeError::Internal(format!("replica {shard} caught an injected panic"));
+                    respond(job.seq, job.conn, err.response(Some(job.id)).to_line());
+                    continue;
+                }
+                _ => {}
+            }
             let waited = now.duration_since(job.enqueued);
             sink.hist("serve.queue_wait_ms", waited.as_secs_f64() * 1e3);
+            // The client's own budget first: a lapsed request is waste
+            // either way, so it sheds before the server deadline and
+            // before any inference. A budget of 0 sheds unconditionally.
+            if let Some(budget) = job.deadline_ms {
+                if waited.as_millis() >= budget as u128 {
+                    report.errors += 1;
+                    report.shed_deadline += 1;
+                    sink.counter("serve.fault.shed_deadline", 1);
+                    let err = ServeError::DeadlineExceeded {
+                        waited_ms: waited.as_millis(),
+                        deadline_ms: budget,
+                    };
+                    respond(job.seq, job.conn, err.response(Some(job.id)).to_line());
+                    continue;
+                }
+            }
             if waited > timeout {
                 report.errors += 1;
                 let err = ServeError::Timeout {
                     waited_ms: waited.as_millis(),
                     deadline_ms: cfg.request_timeout_ms,
                 };
-                respond(job.conn, err.response(Some(job.id)).to_line());
+                respond(job.seq, job.conn, err.response(Some(job.id)).to_line());
                 continue;
             }
             if let Some((placement, relative)) = cache.get(job.fingerprint) {
@@ -151,7 +322,20 @@ pub(crate) fn replica_loop(
                     shard: shard_tag,
                     realloc: None,
                 };
-                respond(job.conn, resp.to_line());
+                respond(job.seq, job.conn, resp.to_line());
+                continue;
+            }
+            // Past the watermark the router marks jobs cache-only:
+            // hits (above) still answer, misses shed instead of
+            // spending an encode on a queue that is already behind.
+            if job.cache_only {
+                report.errors += 1;
+                report.shed_overload += 1;
+                sink.counter("serve.fault.shed_overload", 1);
+                let err = ServeError::Overloaded {
+                    queue_capacity: cfg.queue_capacity,
+                };
+                respond(job.seq, job.conn, err.response(Some(job.id)).to_line());
                 continue;
             }
             if matches!(job.kind, JobKind::Realloc { .. }) {
@@ -180,58 +364,76 @@ pub(crate) fn replica_loop(
                 devices: job.devices,
                 ..base_cluster
             };
-            let decision = {
-                let _span = sink.span("serve.realloc");
-                realloc_decide(
-                    &job.graph,
-                    prior_placement,
-                    delta,
-                    &base,
-                    job.source_rate,
-                    &inc_cfg,
-                )
-            };
-            let (placement, relative, path) = match decision {
-                Err(e) => {
-                    report.errors += 1;
-                    let err = match e {
-                        DeltaError::BadDelta(d) => ServeError::BadRequest(d),
-                        DeltaError::InvalidResult(d) => ServeError::InvalidGraph(d),
-                    };
-                    respond(job.conn, err.response(Some(job.id)).to_line());
-                    continue;
-                }
-                // An empty delta reproduces the prior response exactly
-                // (no path marker: the bytes must match the original).
-                Ok(ReallocDecision::Unchanged { relative }) => {
-                    (prior_placement.clone(), relative, None)
-                }
-                Ok(ReallocDecision::Warm {
-                    placement,
-                    relative,
-                    ..
-                }) => {
-                    report.warm_starts += 1;
-                    (placement.as_slice().to_vec(), relative, Some("warm"))
-                }
-                Ok(ReallocDecision::Full {
-                    graph,
-                    devices,
-                    source_rate,
-                }) => {
-                    let (placement, relative) = solo_alloc(
-                        &graph,
+            // Per-request panic isolation: an organic panic anywhere in
+            // decide/refine/fallback fails this request alone.
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let decision = {
+                    let _span = sink.span("serve.realloc");
+                    realloc_decide(
+                        &job.graph,
+                        prior_placement,
+                        delta,
+                        &base,
+                        job.source_rate,
+                        &inc_cfg,
+                    )
+                };
+                match decision {
+                    Err(DeltaError::BadDelta(d)) => Err(ServeError::BadRequest(d)),
+                    Err(DeltaError::InvalidResult(d)) => Err(ServeError::InvalidGraph(d)),
+                    // An empty delta reproduces the prior response exactly
+                    // (no path marker: the bytes must match the original).
+                    Ok(ReallocDecision::Unchanged { relative }) => {
+                        Ok((prior_placement.clone(), relative, None))
+                    }
+                    Ok(ReallocDecision::Warm {
+                        placement,
+                        relative,
+                        ..
+                    }) => {
+                        report.warm_starts += 1;
+                        Ok((placement.as_slice().to_vec(), relative, Some("warm")))
+                    }
+                    Ok(ReallocDecision::Full {
+                        graph,
                         devices,
                         source_rate,
-                        base_cluster,
-                        &model,
-                        &policy,
-                        &placer,
-                        &mut union,
-                        &mut scratch,
-                        &mut report,
-                    );
-                    (placement, relative, Some("full"))
+                    }) => {
+                        let (placement, relative) = solo_alloc(
+                            &graph,
+                            devices,
+                            source_rate,
+                            base_cluster,
+                            &model,
+                            &policy,
+                            &placer,
+                            &mut union,
+                            &mut scratch,
+                            report,
+                        );
+                        Ok((placement, relative, Some("full")))
+                    }
+                }
+            }));
+            let outcome = match outcome {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    // The batcher state may be mid-update; rebuild it.
+                    union = BatchUnion::new();
+                    scratch = InferenceScratch::new();
+                    report.panics_caught += 1;
+                    sink.counter("serve.fault.panics_caught", 1);
+                    Err(ServeError::Internal(format!(
+                        "replica {shard} panicked during realloc; request failed"
+                    )))
+                }
+            };
+            let (placement, relative, path) = match outcome {
+                Ok(t) => t,
+                Err(err) => {
+                    report.errors += 1;
+                    respond(job.seq, job.conn, err.response(Some(job.id)).to_line());
+                    continue;
                 }
             };
             report.responses += 1;
@@ -245,7 +447,7 @@ pub(crate) fn replica_loop(
                 shard: shard_tag,
                 realloc: path.map(str::to_string),
             };
-            respond(job.conn, resp.to_line());
+            respond(job.seq, job.conn, resp.to_line());
             cache.insert(job.fingerprint, (placement, relative));
         }
 
@@ -270,64 +472,93 @@ pub(crate) fn replica_loop(
             }
         }
 
-        // ONE forward pass over the disjoint union of the unique graphs.
-        let encode_start = Instant::now();
-        let (prepared, probs) = {
-            let _span = sink.span("serve.encode");
-            let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
-                .iter()
-                .map(|&i| {
-                    let job = &todo[i];
-                    // A `devices` override keeps the server cluster's
-                    // per-device MIPS and link bandwidth.
-                    let cluster = ClusterSpec {
-                        devices: job.devices,
-                        ..base_cluster
-                    };
-                    let rates = TupleRates::compute(&job.graph, job.source_rate);
-                    let feats = GraphFeatures::extract_with_rates(&job.graph, &cluster, &rates);
-                    (rates, feats, cluster)
-                })
-                .collect();
-            let probs = {
-                let items: Vec<(&StreamGraph, &GraphFeatures)> = unique
+        // ONE forward pass over the disjoint union of the unique
+        // graphs, then the decode → place → simulate fan-out. The whole
+        // batch computation is panic-isolated: an organic panic fails
+        // only this batch's requests with `internal`, the scratch state
+        // is rebuilt, and the incarnation lives on.
+        let work = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let encode_start = Instant::now();
+            let (prepared, probs) = {
+                let _span = sink.span("serve.encode");
+                let prepared: Vec<(TupleRates, GraphFeatures, ClusterSpec)> = unique
                     .iter()
-                    .zip(&prepared)
-                    .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
+                    .map(|&i| {
+                        let job = &todo[i];
+                        // A `devices` override keeps the server cluster's
+                        // per-device MIPS and link bandwidth.
+                        let cluster = ClusterSpec {
+                            devices: job.devices,
+                            ..base_cluster
+                        };
+                        let rates = TupleRates::compute(&job.graph, job.source_rate);
+                        let feats = GraphFeatures::extract_with_rates(&job.graph, &cluster, &rates);
+                        (rates, feats, cluster)
+                    })
                     .collect();
-                // The request fingerprint keys the union cache: it covers
-                // topology, devices, and rate — everything the features
-                // are derived from.
-                let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
-                model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
+                let probs = {
+                    let items: Vec<(&StreamGraph, &GraphFeatures)> = unique
+                        .iter()
+                        .zip(&prepared)
+                        .map(|(&i, (_, feats, _))| (&todo[i].graph, feats))
+                        .collect();
+                    // The request fingerprint keys the union cache: it covers
+                    // topology, devices, and rate — everything the features
+                    // are derived from.
+                    let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
+                    model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
+                };
+                (prepared, probs)
             };
-            (prepared, probs)
-        };
-        report.encode_ns += encode_start.elapsed().as_nanos() as u64;
+            report.encode_ns += encode_start.elapsed().as_nanos() as u64;
 
-        // Fan decode → place → simulate over the deterministic pool.
-        let rollout_start = Instant::now();
-        let results: Vec<(Vec<u32>, f64)> = {
-            let _span = sink.span("serve.rollout");
-            let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
-            let (prepared, probs) = (&prepared, &probs);
-            rollout::run_ordered(workers, unique.len(), move |u| {
-                let job = &todo[unique[u]];
-                let (rates, _, cluster) = &prepared[u];
-                // Greedy decoding ignores the RNG; seed from content so
-                // even a non-greedy mode would stay request-deterministic.
-                let mut rng = ChaCha8Rng::seed_from_u64(job.fingerprint);
-                let decisions = policy.decode(&probs[u], DecodeMode::Greedy, &mut rng);
-                let coarsening = policy.apply(&job.graph, rates, cluster, &decisions, &probs[u]);
-                let coarse = placer.place_coarse(&coarsening.coarse, cluster);
-                let placement = Placement::lift(&coarse, &coarsening.node_map);
-                let relative = spg_sim::reward::relative_throughput_with_rates(
-                    &job.graph, cluster, &placement, rates,
-                );
-                (placement.as_slice().to_vec(), relative)
-            })
+            let rollout_start = Instant::now();
+            let results: Vec<(Vec<u32>, f64)> = {
+                let _span = sink.span("serve.rollout");
+                let (todo, unique, policy, placer) = (&todo, &unique, &policy, &placer);
+                let (prepared, probs) = (&prepared, &probs);
+                rollout::run_ordered(workers, unique.len(), move |u| {
+                    let job = &todo[unique[u]];
+                    let (rates, _, cluster) = &prepared[u];
+                    // Greedy decoding ignores the RNG; seed from content so
+                    // even a non-greedy mode would stay request-deterministic.
+                    let mut rng = ChaCha8Rng::seed_from_u64(job.fingerprint);
+                    let decisions = policy.decode(&probs[u], DecodeMode::Greedy, &mut rng);
+                    let coarsening =
+                        policy.apply(&job.graph, rates, cluster, &decisions, &probs[u]);
+                    let coarse = placer.place_coarse(&coarsening.coarse, cluster);
+                    let placement = Placement::lift(&coarse, &coarsening.node_map);
+                    let relative = spg_sim::reward::relative_throughput_with_rates(
+                        &job.graph, cluster, &placement, rates,
+                    );
+                    (placement.as_slice().to_vec(), relative)
+                })
+            };
+            report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
+            results
+        }));
+        let results = match work {
+            Ok(results) => results,
+            Err(_) => {
+                union = BatchUnion::new();
+                scratch = InferenceScratch::new();
+                report.panics_caught += 1;
+                sink.counter("serve.fault.panics_caught", 1);
+                let err = ServeError::Internal(format!(
+                    "replica {shard} panicked during batch inference; request failed"
+                ));
+                for job in &todo {
+                    report.errors += 1;
+                    respond(
+                        job.seq,
+                        job.conn,
+                        err.response(Some(job.id.clone())).to_line(),
+                    );
+                }
+                waker.wake();
+                continue;
+            }
         };
-        report.rollout_ns += rollout_start.elapsed().as_nanos() as u64;
 
         for (job, &slot) in todo.iter().zip(&slot_of) {
             let (placement, relative) = &results[slot];
@@ -342,36 +573,19 @@ pub(crate) fn replica_loop(
                 shard: shard_tag,
                 realloc: None,
             };
-            respond(job.conn, resp.to_line());
+            respond(job.seq, job.conn, resp.to_line());
             cache.insert(job.fingerprint, (placement.clone(), *relative));
         }
         waker.wake();
     }
 
-    report.cache_hits = cache.hits();
-    report.cache_misses = cache.misses();
-    report.union_cache_hits = union.cache_hits();
-    sink.counter(
-        &format!("serve.replica.{shard}.responses"),
-        report.responses,
-    );
-    sink.counter(&format!("serve.replica.{shard}.errors"), report.errors);
-    sink.counter(&format!("serve.replica.{shard}.batches"), report.batches);
-    sink.counter(
-        &format!("serve.replica.{shard}.cache_hits"),
-        report.cache_hits,
-    );
-    let lookups = report.cache_hits + report.cache_misses;
-    if lookups > 0 {
-        sink.gauge(
-            &format!("serve.replica.{shard}.shard_hit_rate"),
-            report.cache_hits as f64 / lookups as f64,
-        );
-    }
-    // One last wake: the I/O loop notices this sender is gone and can
-    // finish its drain bookkeeping.
+    // Clean drain exit: fold this incarnation's cache stats into the
+    // shard total. (A panicked incarnation loses its cache stats with
+    // its cache — the counts are diagnostic, not load-bearing.)
+    report.cache_hits += cache.hits();
+    report.cache_misses += cache.misses();
+    report.union_cache_hits += union.cache_hits();
     waker.wake();
-    report
 }
 
 /// The full pipeline for one graph — the above-threshold realloc

@@ -29,6 +29,7 @@ use crate::server::ServeConfig;
 use spg_graph::wire::{parse_request, WireRequest};
 use spg_graph::ClusterSpec;
 use spg_obs::TelemetrySink;
+use spg_sim::inject;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -141,6 +142,9 @@ struct Router<'a> {
     cluster: ClusterSpec,
     source_rate: f64,
     sink: &'a TelemetrySink,
+    /// Monotone per-job sequence, the key replicas track in-flight
+    /// work under (see `FlightTable`).
+    next_seq: u64,
 }
 
 impl Router<'_> {
@@ -149,13 +153,14 @@ impl Router<'_> {
     /// rendezvous-hashed onto a replica queue (or bounce with
     /// `overloaded` / `draining`).
     fn handle_line(&mut self, line: &str, conn_id: u64, conn: &mut Conn) {
-        let (id, graph, devices, rate, version, kind) = match parse_request(line) {
+        let (id, graph, devices, rate, version, deadline_ms, kind) = match parse_request(line) {
             Ok(WireRequest::Alloc(req)) => (
                 req.id,
                 req.graph,
                 req.devices,
                 req.source_rate,
                 req.v.unwrap_or(1),
+                req.deadline_ms,
                 JobKind::Alloc,
             ),
             Ok(WireRequest::Realloc(req)) => (
@@ -164,6 +169,7 @@ impl Router<'_> {
                 req.devices,
                 req.source_rate,
                 req.v.unwrap_or(1),
+                req.deadline_ms,
                 JobKind::Realloc {
                     prior_placement: req.prior_placement,
                     delta: req.delta,
@@ -202,7 +208,14 @@ impl Router<'_> {
             } => realloc_fingerprint(&graph, prior_placement, delta, devices, rate),
         };
         let shard = shard_of(fingerprint, self.job_txs.len() as u32);
+        // Past the watermark the shard is already behind: mark the job
+        // cache-only so the replica answers from its LRU or sheds,
+        // rather than queueing more inference behind the backlog.
+        let cache_only = self.cfg.shed_watermark > 0
+            && self.depth[shard as usize] >= self.cfg.shed_watermark as i64;
+        self.next_seq += 1;
         let job = Job {
+            seq: self.next_seq,
             version,
             id,
             graph,
@@ -210,6 +223,8 @@ impl Router<'_> {
             source_rate: rate,
             fingerprint,
             kind,
+            deadline_ms,
+            cache_only,
             conn: conn_id,
             enqueued: Instant::now(),
         };
@@ -261,6 +276,7 @@ pub(crate) fn io_loop(
         cluster,
         source_rate,
         sink,
+        next_seq: 0,
     };
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_conn_id: u64 = 0;
@@ -403,10 +419,27 @@ pub(crate) fn io_loop(
         }
 
         // Write pass: opportunistic — anything queued this iteration
-        // usually leaves in the same iteration.
-        for conn in conns.values_mut() {
-            if !conn.dead && !conn.flushed() {
-                conn.flush();
+        // usually leaves in the same iteration. The injector can tear a
+        // connection here: the decision is pure in the connection id,
+        // so a connection destined to fail fails at its first write.
+        for (&id, conn) in conns.iter_mut() {
+            if conn.dead || conn.flushed() {
+                continue;
+            }
+            match inject::at(inject::Site::ConnWrite, id) {
+                Some(inject::Fault::ConnDrop) => {
+                    sink.counter("serve.fault.conns_dropped", 1);
+                    conn.dead = true;
+                }
+                Some(inject::Fault::TornWrite) => {
+                    // Half the pending bytes go out, then the socket
+                    // dies: the client sees a torn line, never a hang.
+                    sink.counter("serve.fault.torn_writes", 1);
+                    let cut = conn.wpos + (conn.wbuf.len() - conn.wpos) / 2;
+                    let _ = conn.stream.write(&conn.wbuf[conn.wpos..cut]);
+                    conn.dead = true;
+                }
+                _ => conn.flush(),
             }
         }
 

@@ -31,7 +31,7 @@
 //! [`ServeReport`] with the per-shard breakdown attached.
 
 use crate::reactor::WakePipe;
-use crate::replica::{replica_loop, Completion, Job};
+use crate::replica::{supervise_shard, Completion, Job};
 use crate::router::io_loop;
 use spg_core::checkpoint::Checkpoint;
 use spg_core::rollout;
@@ -71,6 +71,11 @@ pub struct ServeConfig {
     /// Metis placer seed (placements stay content-deterministic for any
     /// fixed value).
     pub seed: u64,
+    /// Graceful-degradation watermark: once a shard's queue depth
+    /// reaches this, new arrivals are marked cache-only — LRU hits
+    /// still answer, misses shed as `overloaded` without an encode.
+    /// 0 disables the policy.
+    pub shed_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +89,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             workers: rollout::default_workers(),
             seed: 7,
+            shed_watermark: 0,
         }
     }
 }
@@ -183,6 +189,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Queue-depth watermark past which cache-missing requests shed as
+    /// `overloaded` (0 disables).
+    pub fn shed_watermark(mut self, shed_watermark: usize) -> Self {
+        self.cfg.shed_watermark = shed_watermark;
+        self
+    }
+
     /// Validate and produce the config.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
         let cfg = self.cfg;
@@ -233,6 +246,16 @@ pub struct ServeReport {
     pub reallocs: u64,
     /// Reallocs answered by warm-started refinement (no model forward).
     pub warm_starts: u64,
+    /// Requests that panicked inside a replica and were answered
+    /// `internal` without killing the incarnation.
+    pub panics_caught: u64,
+    /// Replica incarnations respawned after an uncaught panic.
+    pub replica_restarts: u64,
+    /// Requests shed because their own `deadline_ms` budget lapsed.
+    pub shed_deadline: u64,
+    /// Cache-missing requests shed `overloaded` past the queue-depth
+    /// watermark.
+    pub shed_overload: u64,
     /// Per-replica reports, indexed by shard (empty inside the entries
     /// themselves).
     pub per_replica: Vec<ServeReport>,
@@ -251,6 +274,10 @@ impl ServeReport {
         self.union_cache_hits += other.union_cache_hits;
         self.reallocs += other.reallocs;
         self.warm_starts += other.warm_starts;
+        self.panics_caught += other.panics_caught;
+        self.replica_restarts += other.replica_restarts;
+        self.shed_deadline += other.shed_deadline;
+        self.shed_overload += other.shed_overload;
     }
 }
 
@@ -314,7 +341,7 @@ impl Server {
                     let ckpt = checkpoint.clone();
                     let cfg = &cfg;
                     s.spawn(move || {
-                        replica_loop(shard as u32, ckpt, rx, done, waker, cfg, cluster, sink)
+                        supervise_shard(shard as u32, ckpt, rx, done, waker, cfg, cluster, sink)
                     })
                 })
                 .collect();
@@ -336,9 +363,20 @@ impl Server {
                 ..ServeReport::default()
             };
             for handle in handles {
-                let shard_report = handle.join().expect("replica panicked");
-                report.absorb(&shard_report);
-                report.per_replica.push(shard_report);
+                // Replica panics are caught inside `supervise_shard`; a
+                // join error means the supervisor itself panicked — a
+                // bug, but one the server's own result survives.
+                match handle.join() {
+                    Ok(shard_report) => {
+                        report.absorb(&shard_report);
+                        report.per_replica.push(shard_report);
+                    }
+                    Err(_) => {
+                        sink.counter("serve.fault.supervisor_panics", 1);
+                        eprintln!("serve: BUG: a shard supervisor panicked; its report is lost");
+                        report.per_replica.push(ServeReport::default());
+                    }
+                }
             }
             report
         });
@@ -367,6 +405,8 @@ mod tests {
         assert_eq!(built.cache_capacity, default.cache_capacity);
         assert_eq!(built.workers, default.workers);
         assert_eq!(built.seed, default.seed);
+        assert_eq!(built.shed_watermark, default.shed_watermark);
+        assert_eq!(built.shed_watermark, 0, "shedding must default off");
     }
 
     #[test]
@@ -380,6 +420,7 @@ mod tests {
             .cache_capacity(0)
             .workers(2)
             .seed(42)
+            .shed_watermark(32)
             .build()
             .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:9000");
@@ -390,6 +431,7 @@ mod tests {
         assert_eq!(cfg.cache_capacity, 0);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.shed_watermark, 32);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum Site {
     Simulator,
     /// Between a checkpoint's temp-file write and its atomic rename.
     CheckpointSave,
+    /// Per-request work inside a serving replica, keyed by
+    /// [`replica_key`] (request fingerprint × replica incarnation).
+    ReplicaWork,
+    /// The serving io_loop's write pass for one connection, keyed by
+    /// connection id.
+    ConnWrite,
 }
 
 impl Site {
@@ -34,6 +40,8 @@ impl Site {
             Site::Rollout => 0x524f_4c4c,
             Site::Simulator => 0x5349_4d55,
             Site::CheckpointSave => 0x434b_5054,
+            Site::ReplicaWork => 0x5250_4c43,
+            Site::ConnWrite => 0x434f_4e4e,
         }
     }
 }
@@ -49,6 +57,14 @@ pub enum Fault {
     SimError,
     /// Simulate a crash: the operation stops before completing.
     Kill,
+    /// Stall the worker for a fixed pause (exercises queue buildup and
+    /// shed policies without killing anything).
+    Stall,
+    /// Write only a prefix of the pending bytes, then drop the
+    /// connection (a torn line the client must survive).
+    TornWrite,
+    /// Drop the connection before writing anything.
+    ConnDrop,
 }
 
 impl Fault {
@@ -58,6 +74,9 @@ impl Fault {
             Fault::WorkerPanic => 2,
             Fault::SimError => 3,
             Fault::Kill => 4,
+            Fault::Stall => 5,
+            Fault::TornWrite => 6,
+            Fault::ConnDrop => 7,
         }
     }
 }
@@ -239,6 +258,15 @@ pub fn rollout_key(epoch: u64, graph: usize, sample: usize) -> u64 {
     (epoch << 40) | ((graph as u64 & 0xf_ffff) << 20) | (sample as u64 & 0xf_ffff)
 }
 
+/// Stable key for [`Site::ReplicaWork`]: the request fingerprint mixed
+/// with the replica's incarnation number. Generation 0 is the raw
+/// fingerprint, so a test can target a request's *first* processing by
+/// fingerprint alone — and a respawned replica (generation ≥ 1) stops
+/// matching, letting the retry of a killed request succeed.
+pub fn replica_key(fingerprint: u64, generation: u64) -> u64 {
+    fingerprint ^ generation.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +318,25 @@ mod tests {
         assert_eq!(handle.join().unwrap(), NO_CONTEXT);
         clear_context();
         assert_eq!(context_key(), NO_CONTEXT);
+    }
+
+    #[test]
+    fn replica_keys_separate_incarnations() {
+        // Generation 0 is the raw fingerprint; later generations remap
+        // every fingerprint, so a plan pinned to generation 0 goes quiet
+        // after a respawn.
+        assert_eq!(replica_key(0xdead_beef, 0), 0xdead_beef);
+        assert_ne!(replica_key(0xdead_beef, 1), 0xdead_beef);
+        assert_ne!(replica_key(0xdead_beef, 1), replica_key(0xdead_beef, 2));
+        let plan = FaultInjector::new(0).at(Site::ReplicaWork, 0xdead_beef, Fault::Kill);
+        let _g = armed(plan);
+        assert_eq!(
+            at(Site::ReplicaWork, replica_key(0xdead_beef, 0)),
+            Some(Fault::Kill)
+        );
+        assert_eq!(at(Site::ReplicaWork, replica_key(0xdead_beef, 1)), None);
+        // Serve sites are distinct from training sites.
+        assert_eq!(at(Site::ConnWrite, 0xdead_beef), None);
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub enum WireError {
     InvalidGraph(String),
     /// The request waited longer than the server's per-request deadline.
     Timeout(String),
+    /// The request's own `deadline_ms` budget had already lapsed when it
+    /// reached a replica; it was shed before any inference ran.
+    DeadlineExceeded(String),
     /// The server's bounded request queue is full (backpressure).
     Overloaded(String),
     /// The server is draining after a shutdown request; no new work is
@@ -84,6 +87,7 @@ impl WireError {
             WireError::BadRequest(_) => "bad-request",
             WireError::InvalidGraph(_) => "invalid-graph",
             WireError::Timeout(_) => "timeout",
+            WireError::DeadlineExceeded(_) => "deadline-exceeded",
             WireError::Overloaded(_) => "overloaded",
             WireError::Draining => "draining",
             WireError::Internal(_) => "internal",
@@ -94,10 +98,11 @@ impl WireError {
     /// Every stable error code, in declaration order. The single source
     /// of truth for the wire names — `spg-serve`'s `ServeError` and the
     /// name-pinning tests both delegate here.
-    pub const CODES: [&'static str; 7] = [
+    pub const CODES: [&'static str; 8] = [
         "bad-request",
         "invalid-graph",
         "timeout",
+        "deadline-exceeded",
         "overloaded",
         "draining",
         "internal",
@@ -110,6 +115,7 @@ impl WireError {
             WireError::BadRequest(d)
             | WireError::InvalidGraph(d)
             | WireError::Timeout(d)
+            | WireError::DeadlineExceeded(d)
             | WireError::Overloaded(d)
             | WireError::Internal(d)
             | WireError::UnsupportedVersion(d) => d.clone(),
@@ -164,6 +170,11 @@ pub struct AllocRequest {
     /// Requested protocol version; `None` means v1 (the pre-versioning
     /// wire bytes, unchanged).
     pub v: Option<u64>,
+    /// Usefulness budget in milliseconds, measured from arrival (v2
+    /// only). A request still queued past this budget is shed with the
+    /// named `deadline-exceeded` error instead of burning an inference
+    /// pass on an answer the client has stopped waiting for.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Protocol versions this implementation speaks.
@@ -201,6 +212,9 @@ impl Serialize for AllocRequest {
         if let Some(v) = self.v {
             fields.push(("v".to_string(), v.serialize()));
         }
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), d.serialize()));
+        }
         Value::Object(fields)
     }
 }
@@ -227,6 +241,8 @@ pub struct ReallocRequest {
     pub devices: Option<usize>,
     /// Requested protocol version; must resolve to 2.
     pub v: Option<u64>,
+    /// Usefulness budget in milliseconds (see [`AllocRequest::deadline_ms`]).
+    pub deadline_ms: Option<u64>,
 }
 
 impl ReallocRequest {
@@ -267,6 +283,9 @@ impl Serialize for ReallocRequest {
         if let Some(v) = self.v {
             fields.push(("v".to_string(), v.serialize()));
         }
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), d.serialize()));
+        }
         Value::Object(fields)
     }
 }
@@ -289,6 +308,7 @@ pub(crate) struct RawRequest {
     pub(crate) source_rate: Option<f64>,
     pub(crate) devices: Option<usize>,
     pub(crate) v: Option<u64>,
+    pub(crate) deadline_ms: Option<u64>,
     /// Present (with `prior_placement`) iff this line is a realloc.
     pub(crate) delta: Option<GraphDelta>,
     pub(crate) prior_placement: Option<Vec<u32>>,
@@ -327,6 +347,7 @@ impl Deserialize for RawLine {
             source_rate: opt_field(v, "source_rate")?,
             devices: opt_field(v, "devices")?,
             v: opt_field(v, "v")?,
+            deadline_ms: opt_field(v, "deadline_ms")?,
             delta: opt_field(v, "delta")?,
             prior_placement: opt_field(v, "prior_placement")?,
         }))
@@ -385,6 +406,11 @@ fn finish_request(raw: RawRequest) -> Result<WireRequest, WireError> {
             "devices must be at least 1".to_string(),
         ));
     }
+    if raw.deadline_ms.is_some() && raw.v.unwrap_or(1) < 2 {
+        return Err(WireError::BadRequest(
+            "deadline_ms requires protocol v2 (send \"v\":2)".to_string(),
+        ));
+    }
     // Structural validation happens in the constructor; the follow-up
     // `validate_graph` adds the numeric checks shared with dataset
     // loading (and is cheap next to an inference pass).
@@ -398,6 +424,7 @@ fn finish_request(raw: RawRequest) -> Result<WireRequest, WireError> {
             source_rate: raw.source_rate,
             devices: raw.devices,
             v: raw.v,
+            deadline_ms: raw.deadline_ms,
         }));
     };
     // A `delta` field makes the line a realloc. The delta's deep checks
@@ -431,6 +458,7 @@ fn finish_request(raw: RawRequest) -> Result<WireRequest, WireError> {
         source_rate: raw.source_rate,
         devices: raw.devices,
         v: raw.v,
+        deadline_ms: raw.deadline_ms,
     }))
 }
 
@@ -560,6 +588,12 @@ impl Deserialize for WireResponse {
     }
 }
 
+// Child module (not a sibling) so the harness reaches the private
+// `finish_request` / `parse_request_generic` halves it cross-checks.
+#[cfg(test)]
+#[path = "wire_fuzz.rs"]
+mod wire_fuzz;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +615,7 @@ mod tests {
             source_rate: Some(1e4),
             devices: Some(8),
             v: None,
+            deadline_ms: None,
         };
         let line = req.to_line();
         assert!(!line.contains('\n'));
@@ -603,6 +638,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: None,
+            deadline_ms: None,
         };
         let line = req.to_line();
         assert!(!line.contains("source_rate"));
@@ -644,6 +680,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: None,
+            deadline_ms: None,
         }
         .to_line()
         .replacen("[[0,1]]", "[[0,9]]", 1);
@@ -657,6 +694,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: None,
+            deadline_ms: None,
         }
         .to_line()
         .replacen("\"ipt\":100", "\"ipt\":-100", 1);
@@ -672,6 +710,7 @@ mod tests {
             source_rate: sr,
             devices: dev,
             v: None,
+            deadline_ms: None,
         };
         assert!(matches!(
             parse_request(&mk(Some(-1.0), None).to_line()),
@@ -715,6 +754,10 @@ mod tests {
         assert_eq!(WireError::Draining.code(), "draining");
         assert_eq!(WireError::Overloaded(String::new()).code(), "overloaded");
         assert_eq!(WireError::Timeout(String::new()).code(), "timeout");
+        assert_eq!(
+            WireError::DeadlineExceeded(String::new()).code(),
+            "deadline-exceeded"
+        );
         assert_eq!(WireError::Internal(String::new()).code(), "internal");
         assert_eq!(
             WireError::UnsupportedVersion(String::new()).code(),
@@ -725,6 +768,7 @@ mod tests {
             WireError::BadRequest(String::new()),
             WireError::InvalidGraph(String::new()),
             WireError::Timeout(String::new()),
+            WireError::DeadlineExceeded(String::new()),
             WireError::Overloaded(String::new()),
             WireError::Draining,
             WireError::Internal(String::new()),
@@ -744,6 +788,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: None,
+            deadline_ms: None,
         };
         let line = req.to_line();
         assert!(!line.contains("\"v\""), "{line}");
@@ -772,6 +817,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: Some(2),
+            deadline_ms: None,
         };
         let line = req.to_line();
         assert!(line.contains("\"v\":2"), "{line}");
@@ -804,6 +850,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v: Some(1),
+            deadline_ms: None,
         };
         assert!(parse_request(&req.to_line()).is_ok());
         req.v = Some(3);
@@ -822,12 +869,39 @@ mod tests {
             source_rate: None,
             devices: None,
             v: Some(2),
+            deadline_ms: None,
         }
         .to_line()
         .replacen("\"v\":2", "\"v\":2,\"priority\":\"high\",\"tags\":[1,2]", 1);
         match parse_request(&line).unwrap() {
             WireRequest::Alloc(back) => assert_eq!(back.id, "fc"),
             other => panic!("expected alloc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_requires_v2_and_roundtrips() {
+        let mut req = AllocRequest {
+            id: "d1".to_string(),
+            graph: tiny(),
+            source_rate: None,
+            devices: None,
+            v: Some(2),
+            deadline_ms: Some(250),
+        };
+        let line = req.to_line();
+        assert!(line.contains("\"deadline_ms\":250"), "{line}");
+        match parse_request(&line).unwrap() {
+            WireRequest::Alloc(back) => assert_eq!(back.deadline_ms, Some(250)),
+            other => panic!("expected alloc, got {other:?}"),
+        }
+        // A deadline on a v1 line is refused by name: v1 clients never
+        // sent the field, so its presence is a version mismatch.
+        for v in [None, Some(1)] {
+            req.v = v;
+            let err = parse_request(&req.to_line()).unwrap_err();
+            assert_eq!(err.code(), "bad-request", "{err}");
+            assert!(err.detail().contains("deadline_ms"), "{err}");
         }
     }
 
@@ -840,6 +914,7 @@ mod tests {
             source_rate: None,
             devices: None,
             v,
+            deadline_ms: None,
         }
     }
 
@@ -918,6 +993,7 @@ mod tests {
             source_rate: Some(1e4),
             devices: Some(8),
             v,
+            deadline_ms: None,
         };
         let full_delta = GraphDelta {
             remove_nodes: vec![1],
@@ -929,9 +1005,15 @@ mod tests {
             source_rate: Some(5e3),
             ..GraphDelta::default()
         };
+        let deadline = {
+            let mut r = alloc(Some(2));
+            r.deadline_ms = Some(100);
+            r
+        };
         let canonical = [
             alloc(None).to_line(),
             alloc(Some(2)).to_line(),
+            deadline.to_line(),
             tiny_realloc(GraphDelta::default(), Some(2)).to_line(),
             tiny_realloc(full_delta, Some(2)).to_line(),
             shutdown_line().to_string(),
@@ -959,6 +1041,9 @@ mod tests {
             r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]},"v":2,"delta":{"set_ipt":[[0,1.5]]}}"#.to_string(),
             r#"{"cmd":"shutdown","junk":1}"#.to_string(),
             r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]}} trailing"#.to_string(),
+            // A deadline without v2 must be refused by both paths.
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]},"deadline_ms":5}"#.to_string(),
+            r#"{"id":"x","graph":{"ops":[{"ipt":1}],"edges":[],"channels":[]},"v":2,"deadline_ms":-3}"#.to_string(),
         ];
         for line in canonical.iter().chain(awkward.iter()) {
             let fast = parse_request(line);
@@ -971,7 +1056,7 @@ mod tests {
         }
         // The canonical client lines must actually take the fast path —
         // if they fall back, the optimization is silently dead.
-        for line in &canonical[..4] {
+        for line in &canonical[..5] {
             assert!(crate::wire_fast::parse(line).is_some(), "fell back: {line}");
         }
     }

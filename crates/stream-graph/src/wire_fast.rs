@@ -39,6 +39,7 @@ pub(crate) fn parse(line: &str) -> Option<RawRequest> {
     let mut source_rate: Option<f64> = None;
     let mut devices: Option<usize> = None;
     let mut v: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut delta: Option<crate::delta::GraphDelta> = None;
     let mut prior_placement: Option<Vec<u32>> = None;
 
@@ -67,6 +68,7 @@ pub(crate) fn parse(line: &str) -> Option<RawRequest> {
                 "source_rate" => set(&mut source_rate, s.f64()?)?,
                 "devices" => set(&mut devices, s.int::<usize>()?)?,
                 "v" => set(&mut v, s.int::<u64>()?)?,
+                "deadline_ms" => set(&mut deadline_ms, s.int::<u64>()?)?,
                 "delta" => set(&mut delta, s.delta()?)?,
                 "prior_placement" => set(&mut prior_placement, s.array(Scan::int::<u32>)?)?,
                 _ => s.skip_value(0)?,
@@ -91,6 +93,7 @@ pub(crate) fn parse(line: &str) -> Option<RawRequest> {
         source_rate,
         devices,
         v,
+        deadline_ms,
         delta,
         prior_placement,
     })

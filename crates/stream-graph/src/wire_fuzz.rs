@@ -1,0 +1,245 @@
+//! Structure-aware seeded fuzzing of the wire request parsers.
+//!
+//! Two pins, checked over thousands of generated and mutated lines:
+//!
+//! 1. **No panic**: [`super::parse_request`] never panics, whatever the
+//!    bytes — the read loop feeds it untrusted input.
+//! 2. **Fast ≡ generic**: whenever the tree-free scanner in
+//!    [`crate::wire_fast`] claims a line (returns `Some`), finishing its
+//!    raw request must produce *exactly* the result the generic
+//!    `Value`-tree parser produces for the same line — same request or
+//!    the same named error. The fast path is allowed to defer (`None`),
+//!    never to disagree.
+//!
+//! The generator is structure-aware: it builds syntactically plausible
+//! request lines from seeded parts (field subsets, key orders, number
+//! spellings, realloc payloads), then applies byte- and token-level
+//! mutations that keep inputs *near* the grammar, where parser
+//! disagreements actually live. Everything derives from one fixed
+//! `ChaCha8Rng` seed, so a failure reproduces bit-for-bit.
+
+use super::{finish_request, parse_request, parse_request_generic};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The one cross-parser check. Returns a description of what the line
+/// did, so the corpus test can assert it exercised both paths.
+fn check_line(line: &str) -> &'static str {
+    // Pin 1: neither path may panic. (A panic here fails the test with
+    // the offending line in the unwind message via `checked`.)
+    let generic = parse_request_generic(line);
+    match crate::wire_fast::parse(line) {
+        None => {
+            // Deferring is always legal; the public entry point then
+            // equals the generic path by construction.
+            assert_eq!(parse_request(line), generic, "deferred line diverged");
+            if generic.is_ok() {
+                "deferred-ok"
+            } else {
+                "deferred-err"
+            }
+        }
+        Some(raw) => {
+            let fast = finish_request(raw);
+            assert_eq!(fast, generic, "fast path disagreed on: {line}");
+            if generic.is_ok() {
+                "fast-ok"
+            } else {
+                "fast-err"
+            }
+        }
+    }
+}
+
+fn check(line: &str, outcomes: &mut std::collections::HashMap<&'static str, usize>) {
+    let result = std::panic::catch_unwind(|| check_line(line));
+    match result {
+        Ok(outcome) => *outcomes.entry(outcome).or_insert(0) += 1,
+        Err(_) => panic!("parser panicked or pins failed on line: {line}"),
+    }
+}
+
+/// A random JSON number spelling: ints, floats, exponents, signs — the
+/// spellings where a hand-rolled scanner and a real parser can drift.
+fn number(rng: &mut ChaCha8Rng) -> String {
+    match rng.gen_range(0..6) {
+        0 => format!("{}", rng.gen_range(0..100_000)),
+        1 => format!("-{}", rng.gen_range(0..1000)),
+        2 => format!("{:.3}", rng.gen_range(0.0..1000.0)),
+        3 => format!("{}e{}", rng.gen_range(1..100), rng.gen_range(0..4)),
+        4 => format!("{:.1}E-{}", rng.gen_range(1.0..9.0), rng.gen_range(1..3)),
+        _ => "18446744073709551616".to_string(), // > u64::MAX
+    }
+}
+
+/// Build one structurally plausible request line: a small graph with a
+/// seeded subset of optional fields, in seeded key order.
+fn plausible_request(rng: &mut ChaCha8Rng) -> String {
+    let nodes = rng.gen_range(1..5usize);
+    let ops: Vec<String> = (0..nodes)
+        .map(|_| format!("{{\"ipt\":{}}}", rng.gen_range(1..500)))
+        .collect();
+    let edges: Vec<String> = (1..nodes)
+        .map(|i| format!("[{},{}]", rng.gen_range(0..i), i))
+        .collect();
+    let channels: Vec<String> = (1..nodes)
+        .map(|_| {
+            format!(
+                "{{\"payload\":{},\"selectivity\":{}}}",
+                rng.gen_range(1..64),
+                rng.gen_range(1..3)
+            )
+        })
+        .collect();
+    let graph = format!(
+        "\"graph\":{{\"ops\":[{}],\"edges\":[{}],\"channels\":[{}]}}",
+        ops.join(","),
+        edges.join(","),
+        channels.join(",")
+    );
+
+    let mut fields = vec![format!("\"id\":\"f{}\"", rng.gen_range(0..100)), graph];
+    if rng.gen_bool(0.4) {
+        fields.push(format!("\"source_rate\":{}", number(rng)));
+    }
+    if rng.gen_bool(0.3) {
+        fields.push(format!("\"devices\":{}", rng.gen_range(0..20)));
+    }
+    if rng.gen_bool(0.5) {
+        fields.push(format!("\"v\":{}", rng.gen_range(0..4)));
+    }
+    if rng.gen_bool(0.4) {
+        fields.push(format!("\"deadline_ms\":{}", number(rng)));
+    }
+    if rng.gen_bool(0.2) {
+        // Realloc shape: a (often invalid) prior placement and delta.
+        let prior: Vec<String> = (0..nodes)
+            .map(|_| rng.gen_range(0..4u32).to_string())
+            .collect();
+        fields.push(format!("\"prior_placement\":[{}]", prior.join(",")));
+        fields.push("\"delta\":{\"rate_factor\":1.5}".to_string());
+    }
+    if rng.gen_bool(0.15) {
+        // A duplicate key: generic takes the first, fast must defer.
+        let dup = fields[rng.gen_range(0..fields.len())].clone();
+        fields.push(dup);
+    }
+    // Seeded key order: the fast scanner must not care.
+    for i in (1..fields.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        fields.swap(i, j);
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Mutate a line near the grammar: byte edits, token swaps, truncation,
+/// whitespace injection — the classic torn/corrupt-line shapes.
+fn mutate(rng: &mut ChaCha8Rng, line: &str) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    match rng.gen_range(0..7) {
+        0 => {
+            // Truncate: a torn write mid-line.
+            let cut = rng.gen_range(0..=bytes.len());
+            bytes.truncate(cut);
+        }
+        1 if !bytes.is_empty() => {
+            // Flip one byte to a random printable character.
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0x20..0x7fu8);
+        }
+        2 if !bytes.is_empty() => {
+            let i = rng.gen_range(0..bytes.len());
+            bytes.remove(i);
+        }
+        3 => {
+            let i = rng.gen_range(0..=bytes.len());
+            let junk = *[b'{', b'}', b'[', b']', b'"', b',', b':', b'-', b'7']
+                .choose(rng)
+                .expect("nonempty");
+            bytes.insert(i, junk);
+        }
+        4 => {
+            // Inject legal whitespace at a random spot.
+            let i = rng.gen_range(0..=bytes.len());
+            for b in [b' ', b'\t'] {
+                bytes.insert(i, b);
+            }
+        }
+        5 => {
+            // Swap two tokens' worth of bytes.
+            if bytes.len() > 8 {
+                let i = rng.gen_range(0..bytes.len() - 4);
+                let j = rng.gen_range(0..bytes.len() - 4);
+                for k in 0..4 {
+                    bytes.swap(i + k, j + k);
+                }
+            }
+        }
+        _ => {
+            // Replace a key name with a near-miss spelling.
+            let line = String::from_utf8_lossy(&bytes).into_owned();
+            let swaps = [
+                ("\"id\"", "\"Id\""),
+                ("\"graph\"", "\"grap\""),
+                ("\"ops\"", "\"opss\""),
+                ("\"deadline_ms\"", "\"deadline_m\""),
+                ("\"v\"", "\"vv\""),
+                ("\"edges\"", "\"edge\""),
+            ];
+            let (from, to) = swaps[rng.gen_range(0..swaps.len())];
+            return line.replacen(from, to, 1);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn fuzz_fast_path_agrees_with_generic_parser() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5747_4652);
+    let mut outcomes = std::collections::HashMap::new();
+
+    // Hand-picked seeds first: shapes known to sit on parser edges.
+    for line in [
+        "",
+        "{}",
+        "null",
+        "[]",
+        "{\"cmd\":\"shutdown\"}",
+        "{\"cmd\":\"shutdow\"}",
+        "{\"cmd\":7}",
+        "{\"id\":\"x\",\"graph\":{\"ops\":[],\"edges\":[],\"channels\":[]}}",
+        "{\"id\":\"x\",\"graph\":{\"ops\":[{\"ipt\":1}],\"edges\":[],\"channels\":[]},\
+         \"deadline_ms\":0}",
+        "{\"id\":\"x\",\"graph\":{\"ops\":[{\"ipt\":1}],\"edges\":[],\"channels\":[]},\
+         \"v\":2,\"deadline_ms\":250}",
+        "{\"id\":\"x\",\"graph\":{\"ops\":[{\"ipt\":1}],\"edges\":[],\"channels\":[]},\
+         \"deadline_ms\":-3}",
+        "{\"id\":\"x\",\"graph\":{\"ops\":[{\"ipt\":1}],\"edges\":[],\"channels\":[]},\
+         \"deadline_ms\":1e3}",
+    ] {
+        check(line, &mut outcomes);
+    }
+
+    for _ in 0..800 {
+        let line = plausible_request(&mut rng);
+        check(&line, &mut outcomes);
+        // Several mutants of every plausible line: corruption near the
+        // grammar is where the two parsers could split.
+        for _ in 0..3 {
+            let mutant = mutate(&mut rng, &line);
+            check(&mutant, &mut outcomes);
+        }
+    }
+
+    // The corpus must actually exercise every quadrant; a generator
+    // regression that (say) stops producing fast-path-eligible lines
+    // would otherwise hollow out the pin silently.
+    for quadrant in ["fast-ok", "fast-err", "deferred-ok", "deferred-err"] {
+        assert!(
+            outcomes.get(quadrant).copied().unwrap_or(0) > 10,
+            "corpus too narrow: {quadrant} hit {:?} times",
+            outcomes.get(quadrant)
+        );
+    }
+}

@@ -107,6 +107,36 @@ fi
 wait "$SERVE_PID"   # clean drain must exit 0
 echo "realloc smoke OK"
 
+# Chaos smoke: a 2-replica server with seeded fault injection at every
+# serve site — replica panics, replica kills (respawn from checkpoint),
+# dropped and torn connection writes — audited by bench-serve --chaos,
+# which exits nonzero unless every request got exactly one well-formed
+# response or a named error (errors are expected; hangs and accounting
+# gaps are not). The server process itself must still drain to exit 0.
+"$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+    --replicas 2 \
+    --inject-replica-panics 0.05 --inject-replica-kills 0.02 \
+    --inject-replica-stalls 0.02 \
+    --inject-conn-drops 0.05 --inject-torn-writes 0.05 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^listening on //p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "spg serve never printed its listen address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+"$SPG" bench-serve --addr "$ADDR" --chaos --replicas 2 --connections 4 \
+    --requests 64 --graphs 8 --rate 200 --seed 0 --shutdown \
+    --out "$SMOKE_DIR/bench_serve.json"
+wait "$SERVE_PID"   # a chaos-drilled server must still drain to exit 0
+echo "chaos smoke OK"
+
 # Perf-regression gate: re-measure the criterion microbenches (fast
 # sampling) plus the serve latency above, then compare against the
 # checked-in baselines. More than 25% slower on any tracked metric fails

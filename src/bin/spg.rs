@@ -123,6 +123,33 @@ fn arm_injector(args: &TrainArgs) -> Option<inject::ArmedGuard> {
     Some(inject::armed(plan))
 }
 
+/// Arm the process-global fault injector from the `spg serve --inject-*`
+/// rate flags. The returned guard keeps it armed while the server runs.
+fn arm_serve_injector(args: &ServeArgs) -> Option<inject::ArmedGuard> {
+    use inject::{Fault, Site};
+    let rates = [
+        (
+            Site::ReplicaWork,
+            Fault::WorkerPanic,
+            args.inject_replica_panics,
+        ),
+        (Site::ReplicaWork, Fault::Kill, args.inject_replica_kills),
+        (Site::ReplicaWork, Fault::Stall, args.inject_replica_stalls),
+        (Site::ConnWrite, Fault::ConnDrop, args.inject_conn_drops),
+        (Site::ConnWrite, Fault::TornWrite, args.inject_torn_writes),
+    ];
+    if rates.iter().all(|&(_, _, p)| p <= 0.0) {
+        return None;
+    }
+    let mut plan = inject::FaultInjector::new(args.seed);
+    for &(site, fault, p) in &rates {
+        if p > 0.0 {
+            plan = plan.rate(site, fault, p);
+        }
+    }
+    Some(inject::armed(plan))
+}
+
 fn train(args: TrainArgs) -> ExitCode {
     let ds = match load_dataset(&args.dataset) {
         Ok(ds) => ds,
@@ -310,13 +337,15 @@ fn serve(args: ServeArgs) -> ExitCode {
         None => TelemetrySink::disabled(),
     };
     let spec = DatasetSpec::for_setting(args.setting);
+    let _inject_guard = arm_serve_injector(&args);
     let mut builder = spg::serve::ServeConfig::builder()
-        .addr(args.addr)
+        .addr(args.addr.clone())
         .replicas(args.replicas)
         .max_batch(args.max_batch)
         .queue_capacity(args.queue)
         .request_timeout_ms(args.timeout_ms)
         .cache_capacity(args.cache)
+        .shed_watermark(args.shed_watermark)
         .seed(args.seed);
     if let Some(workers) = args.workers {
         builder = builder.workers(workers);
@@ -445,6 +474,7 @@ fn realloc(args: ReallocArgs) -> ExitCode {
             source_rate: Some(rate),
             devices: Some(devices),
             v: Some(2),
+            deadline_ms: None,
         }
         .to_line(),
     ) {
@@ -475,6 +505,7 @@ fn realloc(args: ReallocArgs) -> ExitCode {
             source_rate: Some(rate),
             devices: Some(devices),
             v: Some(2),
+            deadline_ms: None,
         }
         .to_line(),
     ) {
@@ -573,6 +604,69 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
         };
         rows.retain(|(k, _)| k != "drift");
         rows.push(("drift".to_string(), report.serialize()));
+        rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let json = serde_json::to_string_pretty(&Value::Object(rows))
+            .expect("report serialization is infallible");
+        if let Err(e) = std::fs::write(&args.out, json + "\n") {
+            eprintln!("failed to write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", args.out.display());
+        if let Some(why) = failure {
+            eprintln!("FAIL: {why}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.chaos {
+        let cfg = spg::serve::BenchConfig {
+            addr: args.addr.clone(),
+            replicas: args.replicas,
+            connections: args.connections[0],
+            requests: args.requests,
+            graphs: args.graphs,
+            seed: args.seed,
+            rate: args.rate,
+            shutdown: args.shutdown,
+            serve_metrics: args.serve_metrics.clone(),
+        };
+        let report = match spg::serve::run_bench(&cfg) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("bench-serve --chaos failed against {}: {e}", cfg.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "chaos: {}/{} ok, {} errors ({} timeouts, {} short reads, \
+             {} parse errors) in {:.2}s — consistent: {}",
+            report.ok,
+            report.requests,
+            report.errors,
+            report.timeouts,
+            report.short_reads,
+            report.parse_errors,
+            report.elapsed_s,
+            report.consistent
+        );
+        // The fault invariant: every request gets exactly one response or
+        // a named connection-level failure — never a hang. Errors are
+        // EXPECTED here (the server is injecting faults); hangs and
+        // unaccounted requests are not.
+        let failure = if report.timeouts > 0 {
+            Some("requests hung under injected faults (timeouts)")
+        } else if report.ok + report.errors != report.requests {
+            Some("chaos accounting broke: ok + errors != requests")
+        } else if report.ok == 0 {
+            Some("no successful responses under chaos")
+        } else if !report.consistent {
+            Some("identical requests received different placements under chaos")
+        } else {
+            None
+        };
+        rows.retain(|(k, _)| k != "chaos");
+        rows.push(("chaos".to_string(), report.serialize()));
         rows.sort_by(|(a, _), (b, _)| a.cmp(b));
         let json = serde_json::to_string_pretty(&Value::Object(rows))
             .expect("report serialization is infallible");

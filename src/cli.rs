@@ -136,6 +136,20 @@ pub struct ServeArgs {
     pub seed: u64,
     /// Telemetry JSONL output path (`None` = telemetry disabled).
     pub metrics: Option<PathBuf>,
+    /// Queue depth at which a replica stops admitting cache misses and
+    /// sheds them `overloaded` (0 disables the watermark).
+    pub shed_watermark: usize,
+    /// Chaos: probability a replica panics while handling a request.
+    pub inject_replica_panics: f64,
+    /// Chaos: probability a replica dies (and is respawned) mid-request.
+    pub inject_replica_kills: f64,
+    /// Chaos: probability a replica stalls before handling a request.
+    pub inject_replica_stalls: f64,
+    /// Chaos: probability a client connection is dropped at first write.
+    pub inject_conn_drops: f64,
+    /// Chaos: probability a response write is torn mid-line, then the
+    /// connection dropped.
+    pub inject_torn_writes: f64,
 }
 
 /// Arguments of `spg realloc`.
@@ -179,6 +193,10 @@ pub struct BenchServeArgs {
     /// after shutdown the report extracts the encode/rollout time split
     /// from it.
     pub serve_metrics: Option<PathBuf>,
+    /// Chaos audit: assert every request gets exactly one response or
+    /// named error (no hangs) against a fault-injecting server; the
+    /// report row is keyed `chaos`.
+    pub chaos: bool,
 }
 
 /// Arguments of `spg bench-matmul`.
@@ -338,7 +356,18 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --cache N       placement-cache entries, 0 disables (default 256)\n\
              \x20 --workers N     rollout worker threads (default: auto)\n\
              \x20 --seed S        placement seed (default 7)\n\
-             \x20 --metrics FILE  write telemetry events (JSONL) to FILE",
+             \x20 --metrics FILE  write telemetry events (JSONL) to FILE\n\
+             \x20 --shed-watermark N\n\
+             \x20                 queue depth past which replicas serve only\n\
+             \x20                 cache hits and shed the rest `overloaded`\n\
+             \x20                 (default 0 = disabled)\n\
+             \n\
+             seeded fault injection (for chaos drills; probabilities in [0,1]):\n\
+             \x20 --inject-replica-panics P  replica panics mid-request (caught)\n\
+             \x20 --inject-replica-kills P   replica dies and is respawned\n\
+             \x20 --inject-replica-stalls P  replica stalls before a request\n\
+             \x20 --inject-conn-drops P      connection dropped at first write\n\
+             \x20 --inject-torn-writes P     response torn mid-line, conn dropped",
             settings_list()
         ),
         "realloc" => "usage: spg realloc --addr A [options]\n\
@@ -378,6 +407,10 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --seed S         graph-generator seed (default 0)\n\
              \x20 --rate R         offered load in req/s (default 200)\n\
              \x20 --shutdown       send a shutdown command after the last run\n\
+             \x20 --chaos          audit a fault-injecting server: assert every\n\
+             \x20                  request gets exactly one response or named\n\
+             \x20                  error (no hangs); the report row is keyed\n\
+             \x20                  `chaos`\n\
              \x20 --drift          run the drift bench instead of the load sweep:\n\
              \x20                  per seeded scenario, a warm-start realloc races a\n\
              \x20                  full re-allocation of the mutated graph; the report\n\
@@ -458,12 +491,12 @@ where
 }
 
 /// Parse an injection-rate flag value: a probability in `[0, 1]`.
-fn parse_rate(flag: &str, a: &mut Args<'_>) -> Result<f64, CliError> {
-    let p: f64 = parse_num("train", flag, a.value(flag)?)?;
+fn parse_rate(cmd: &str, flag: &str, a: &mut Args<'_>) -> Result<f64, CliError> {
+    let p: f64 = parse_num(cmd, flag, a.value(flag)?)?;
     if !(0.0..=1.0).contains(&p) {
         return Err(CliError::Usage(format!(
             "invalid value `{p}` for --{flag}: must be a probability in [0, 1] \
-             (see `spg train --help`)"
+             (see `spg {cmd} --help`)"
         )));
     }
     Ok(p)
@@ -556,10 +589,10 @@ impl Command {
                     )?)
                 }
                 "--inject-nan-rewards" => {
-                    inject_nan_rewards = parse_rate("inject-nan-rewards", &mut a)?
+                    inject_nan_rewards = parse_rate("train", "inject-nan-rewards", &mut a)?
                 }
                 "--inject-worker-panics" => {
-                    inject_worker_panics = parse_rate("inject-worker-panics", &mut a)?
+                    inject_worker_panics = parse_rate("train", "inject-worker-panics", &mut a)?
                 }
                 other => return Err(a.unknown(other)),
             }
@@ -654,6 +687,10 @@ impl Command {
         let mut replicas = 1usize;
         let (mut max_batch, mut queue, mut cache) = (8usize, 64usize, 256usize);
         let (mut timeout_ms, mut seed) = (5000u64, 7u64);
+        let mut shed_watermark = 0usize;
+        let (mut inject_replica_panics, mut inject_replica_kills) = (0.0f64, 0.0f64);
+        let (mut inject_replica_stalls, mut inject_conn_drops) = (0.0f64, 0.0f64);
+        let mut inject_torn_writes = 0.0f64;
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("serve"))),
@@ -681,6 +718,25 @@ impl Command {
                 "--workers" => workers = Some(parse_num("serve", "workers", a.value("workers")?)?),
                 "--seed" => seed = parse_num("serve", "seed", a.value("seed")?)?,
                 "--metrics" => metrics = Some(PathBuf::from(a.value("metrics")?)),
+                "--shed-watermark" => {
+                    shed_watermark =
+                        parse_num("serve", "shed-watermark", a.value("shed-watermark")?)?
+                }
+                "--inject-replica-panics" => {
+                    inject_replica_panics = parse_rate("serve", "inject-replica-panics", &mut a)?
+                }
+                "--inject-replica-kills" => {
+                    inject_replica_kills = parse_rate("serve", "inject-replica-kills", &mut a)?
+                }
+                "--inject-replica-stalls" => {
+                    inject_replica_stalls = parse_rate("serve", "inject-replica-stalls", &mut a)?
+                }
+                "--inject-conn-drops" => {
+                    inject_conn_drops = parse_rate("serve", "inject-conn-drops", &mut a)?
+                }
+                "--inject-torn-writes" => {
+                    inject_torn_writes = parse_rate("serve", "inject-torn-writes", &mut a)?
+                }
                 other => return Err(a.unknown(other)),
             }
         }
@@ -696,6 +752,12 @@ impl Command {
             workers,
             seed,
             metrics,
+            shed_watermark,
+            inject_replica_panics,
+            inject_replica_kills,
+            inject_replica_stalls,
+            inject_conn_drops,
+            inject_torn_writes,
         }))
     }
 
@@ -736,7 +798,7 @@ impl Command {
         let mut connections = vec![4usize];
         let mut replicas = 1usize;
         let (mut seed, mut rate, mut shutdown) = (0u64, 200.0f64, false);
-        let mut drift = false;
+        let (mut drift, mut chaos) = (false, false);
         let mut out = PathBuf::from("BENCH_serve.json");
         let mut serve_metrics = None;
         while let Some(arg) = a.rest.next() {
@@ -783,10 +845,17 @@ impl Command {
                 }
                 "--shutdown" => shutdown = true,
                 "--drift" => drift = true,
+                "--chaos" => chaos = true,
                 "--out" => out = PathBuf::from(a.value("out")?),
                 "--serve-metrics" => serve_metrics = Some(PathBuf::from(a.value("serve-metrics")?)),
                 other => return Err(a.unknown(other)),
             }
+        }
+        if drift && chaos {
+            return Err(CliError::Usage(
+                "--drift and --chaos are mutually exclusive (see `spg bench-serve --help`)"
+                    .to_string(),
+            ));
         }
         Ok(Command::BenchServe(BenchServeArgs {
             addr: addr.ok_or_else(|| a.missing("addr"))?,
@@ -800,6 +869,7 @@ impl Command {
             drift,
             out,
             serve_metrics,
+            chaos,
         }))
     }
 
@@ -1063,6 +1133,17 @@ mod tests {
         assert_eq!((s.max_batch, s.queue, s.cache), (8, 64, 256));
         assert_eq!((s.timeout_ms, s.seed), (5000, 7));
         assert_eq!((s.workers, s.metrics), (None, None));
+        assert_eq!(s.shed_watermark, 0);
+        assert_eq!(
+            (
+                s.inject_replica_panics,
+                s.inject_replica_kills,
+                s.inject_replica_stalls,
+                s.inject_conn_drops,
+                s.inject_torn_writes
+            ),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
 
         let Command::Serve(s) = parse(
             "serve --model m --addr 0.0.0.0:9000 --setting large --replicas 2 --max-batch 4 \
@@ -1133,6 +1214,45 @@ mod tests {
             panic!()
         };
         assert!(b.drift && b.shutdown);
+        assert!(!b.chaos);
+    }
+
+    #[test]
+    fn bench_serve_chaos_flag() {
+        let Command::BenchServe(b) = parse("bench-serve --addr h:1 --chaos").unwrap() else {
+            panic!()
+        };
+        assert!(b.chaos && !b.drift);
+        let Err(CliError::Usage(msg)) = parse("bench-serve --addr h:1 --chaos --drift") else {
+            panic!("chaos+drift must be a usage error")
+        };
+        assert!(msg.contains("mutually exclusive"), "{msg}");
+    }
+
+    #[test]
+    fn serve_fault_injection_flags() {
+        let Command::Serve(s) = parse(
+            "serve --model m --shed-watermark 32 --inject-replica-panics 0.05 \
+             --inject-replica-kills 0.02 --inject-replica-stalls 0.1 \
+             --inject-conn-drops 0.04 --inject-torn-writes 0.03",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.shed_watermark, 32);
+        assert_eq!(s.inject_replica_panics, 0.05);
+        assert_eq!(s.inject_replica_kills, 0.02);
+        assert_eq!(s.inject_replica_stalls, 0.1);
+        assert_eq!(s.inject_conn_drops, 0.04);
+        assert_eq!(s.inject_torn_writes, 0.03);
+
+        let Err(CliError::Usage(msg)) = parse("serve --model m --inject-conn-drops 1.5") else {
+            panic!("out-of-range rate must be a usage error")
+        };
+        assert!(
+            msg.contains("probability") && msg.contains("spg serve"),
+            "{msg}"
+        );
     }
 
     #[test]

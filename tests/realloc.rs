@@ -98,6 +98,7 @@ fn alloc_v2(id: &str, graph: &StreamGraph) -> AllocRequest {
         source_rate: None,
         devices: None,
         v: Some(2),
+        deadline_ms: None,
     }
 }
 
@@ -110,6 +111,7 @@ fn realloc_v2(id: &str, graph: &StreamGraph, prior: &[u32], delta: GraphDelta) -
         source_rate: None,
         devices: None,
         v: Some(2),
+        deadline_ms: None,
     }
 }
 

@@ -92,6 +92,7 @@ fn alloc_request(id: &str, graph: &StreamGraph) -> AllocRequest {
         source_rate: None,
         devices: None,
         v: None,
+        deadline_ms: None,
     }
 }
 

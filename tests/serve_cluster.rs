@@ -12,6 +12,7 @@ use spg::model::pipeline::MetisCoarsePlacer;
 use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
 use spg::obs::TelemetrySink;
 use spg::serve::{request_fingerprint, shard_of, ServeConfig, ServeReport, Server};
+use spg::sim::inject;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -94,6 +95,7 @@ fn alloc_request(id: &str, graph: &StreamGraph) -> AllocRequest {
         source_rate: None,
         devices: None,
         v: None,
+        deadline_ms: None,
     }
 }
 
@@ -224,26 +226,36 @@ fn wire_v2_reports_the_stable_shard_assignment() {
 #[test]
 fn drain_completes_in_flight_work_and_refuses_late_arrivals() {
     let ck = quick_checkpoint(23);
-    // max_batch 1 forces one inference pass per request, and the
-    // backlog below uses ~50–100-node graphs, keeping the replicas
-    // busy long enough that the post-shutdown probes land while the
-    // drain is still in progress. The timeout is raised so queued
-    // backlog never expires on a slow machine.
+    // max_batch 1 forces one inference pass per request. The timeout is
+    // raised so queued backlog never expires on a slow machine.
     let cfg = ServeConfig::builder()
         .replicas(2)
         .max_batch(1)
         .request_timeout_ms(120_000)
         .build()
         .unwrap();
-    let (addr, handle) = spawn_server(cfg, ck);
-
-    // Pre-open the late connection before shutdown is even sent.
-    let mut late = Client::connect(&addr);
 
     let medium = DatasetSpec::scaled_down(Setting::MediumFiveDevices);
     let graphs: Vec<_> = (0..16u64)
         .map(|s| spg::gen::generate_graph(&medium, 500 + s))
         .collect();
+    // Pin an injected stall on the first backlog request so its replica
+    // is parked while the post-shutdown probes land — the drain window
+    // is deterministically open, instead of hoping 16 release-mode
+    // inferences outlast a 5 ms sleep (a real race on fast machines).
+    // The stalled request still completes, so the drain guarantee below
+    // is unchanged. Fingerprints use the server's defaults (the Small
+    // spec from spawn_server), not the graphs' generating spec.
+    let small = DatasetSpec::scaled_down(Setting::Small);
+    let fp0 = request_fingerprint(&graphs[0], small.cluster().devices, small.source_rate);
+    let plan =
+        inject::FaultInjector::new(0).at(inject::Site::ReplicaWork, fp0, inject::Fault::Stall);
+    let _guard = inject::armed(plan);
+    let (addr, handle) = spawn_server(cfg, ck);
+
+    // Pre-open the late connection before shutdown is even sent.
+    let mut late = Client::connect(&addr);
+
     let mut client = Client::connect(&addr);
     // Pipeline the full backlog, then shutdown, then one more alloc —
     // all on one connection, so line order guarantees the last request
@@ -311,6 +323,192 @@ fn drain_completes_in_flight_work_and_refuses_late_arrivals() {
         .filter(|r| r.responses > 0)
         .count();
     assert_eq!(active, 2, "both replicas must have drained in-flight work");
+}
+
+#[test]
+fn a_killed_replica_is_respawned_and_the_retry_is_bitwise_identical() {
+    let ck = quick_checkpoint(25);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g = spg::gen::generate_graph(&spec, 900);
+    let fp = request_fingerprint(&g, spec.cluster().devices, spec.source_rate);
+    let cfg = || ServeConfig::builder().replicas(2).build().unwrap();
+
+    // Baseline: the response a healthy server gives this request. The
+    // serial lock keeps concurrently injecting tests out of this run.
+    let baseline = {
+        let _serial = inject::test_serial();
+        let (addr, handle) = spawn_server(cfg(), ck.clone());
+        let mut client = Client::connect(&addr);
+        client.send_line(&alloc_request("target", &g).to_line());
+        let line = client.read_raw_line();
+        client.shutdown();
+        handle.join().expect("server thread");
+        line
+    };
+
+    // Injected: the owning shard's generation-0 incarnation dies the
+    // moment it dequeues this fingerprint.
+    let plan = inject::FaultInjector::new(0).at(inject::Site::ReplicaWork, fp, inject::Fault::Kill);
+    let _guard = inject::armed(plan);
+    let (addr, handle) = spawn_server(cfg(), ck);
+    let mut client = Client::connect(&addr);
+    client.send_line(&alloc_request("target", &g).to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("the in-flight request must fail by name, not hang")
+    };
+    assert_eq!(e.error, "internal");
+    assert_eq!(e.id.as_deref(), Some("target"));
+
+    // The respawned incarnation (generation 1) no longer matches the
+    // pinned fault: the retry must succeed, and — greedy decode,
+    // content-seeded RNG, cold LRU both times — must reproduce the
+    // healthy server's bytes exactly.
+    client.send_line(&alloc_request("target", &g).to_line());
+    let retry = client.read_raw_line();
+    assert_eq!(
+        retry, baseline,
+        "post-restart retry must be bitwise identical to a clean run"
+    );
+
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.replica_restarts, 1, "exactly one respawn");
+    assert_eq!(report.responses, 1);
+    assert_eq!(report.errors, 1, "exactly one orphaned request failed");
+}
+
+#[test]
+fn an_injected_worker_panic_fails_one_request_without_a_restart() {
+    let ck = quick_checkpoint(26);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g_bad = spg::gen::generate_graph(&spec, 910);
+    let g_ok = spg::gen::generate_graph(&spec, 911);
+    let fp = request_fingerprint(&g_bad, spec.cluster().devices, spec.source_rate);
+    let plan =
+        inject::FaultInjector::new(0).at(inject::Site::ReplicaWork, fp, inject::Fault::WorkerPanic);
+    let _guard = inject::armed(plan);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let mut client = Client::connect(&addr);
+
+    client.send_line(&alloc_request("bad", &g_bad).to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("an injected panic must fail the request by name")
+    };
+    assert_eq!(e.error, "internal");
+    assert_eq!(e.id.as_deref(), Some("bad"));
+
+    // Same incarnation, next request: the panic was isolated.
+    client.send_line(&alloc_request("good", &g_ok).to_line());
+    let WireResponse::Ok(a) = client.read_response() else {
+        panic!("the incarnation must survive a caught panic")
+    };
+    assert_eq!(a.placement.len(), g_ok.num_nodes());
+
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.panics_caught, 1);
+    assert_eq!(report.replica_restarts, 0, "caught panics must not respawn");
+    assert_eq!((report.responses, report.errors), (1, 1));
+}
+
+#[test]
+fn a_zero_deadline_is_shed_by_name_and_a_generous_one_is_not() {
+    // Injection disabled — hold the serial lock so armed tests cannot
+    // leak faults into this run.
+    let _serial = inject::test_serial();
+    let ck = quick_checkpoint(27);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g = spg::gen::generate_graph(&spec, 920);
+    let (addr, handle) = spawn_server(ServeConfig::default(), ck);
+    let mut client = Client::connect(&addr);
+
+    // deadline_ms: 0 lapses by definition — shed before any inference,
+    // deterministically, whatever the machine's speed.
+    let mut req = alloc_request("impatient", &g);
+    req.v = Some(2);
+    req.deadline_ms = Some(0);
+    client.send_line(&req.to_line());
+    let WireResponse::Err(e) = client.read_response() else {
+        panic!("a 0 ms budget must shed")
+    };
+    assert_eq!(e.error, "deadline-exceeded");
+    assert_eq!(e.id.as_deref(), Some("impatient"));
+
+    let mut req = alloc_request("patient", &g);
+    req.v = Some(2);
+    req.deadline_ms = Some(60_000);
+    client.send_line(&req.to_line());
+    let WireResponse::Ok(a) = client.read_response() else {
+        panic!("a generous budget must be served")
+    };
+    assert_eq!(a.placement.len(), g.num_nodes());
+
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.shed_deadline, 1);
+    assert_eq!((report.responses, report.errors), (1, 1));
+}
+
+#[test]
+fn past_the_watermark_cache_hits_answer_and_misses_shed() {
+    let ck = quick_checkpoint(28);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let g_hit = spg::gen::generate_graph(&spec, 930);
+    let g_stall = spg::gen::generate_graph(&spec, 931);
+    let g_miss = spg::gen::generate_graph(&spec, 932);
+    let fp_stall = request_fingerprint(&g_stall, spec.cluster().devices, spec.source_rate);
+    // Park the (single) replica on an injected stall so queue depth is
+    // deterministically at the watermark when the follow-ups route.
+    let plan =
+        inject::FaultInjector::new(0).at(inject::Site::ReplicaWork, fp_stall, inject::Fault::Stall);
+    let _guard = inject::armed(plan);
+    let cfg = ServeConfig::builder()
+        .replicas(1)
+        .max_batch(1)
+        .shed_watermark(1)
+        .build()
+        .unwrap();
+    let (addr, handle) = spawn_server(cfg, ck);
+    let mut client = Client::connect(&addr);
+
+    // Warm the shard's LRU below the watermark.
+    client.send_line(&alloc_request("warm", &g_hit).to_line());
+    let WireResponse::Ok(_) = client.read_response() else {
+        panic!("warming request must succeed")
+    };
+
+    // Stall the replica, then pile on: with depth at the watermark the
+    // router marks the followers cache-only.
+    client.send_line(&alloc_request("stalled", &g_stall).to_line());
+    client.send_line(&alloc_request("hit", &g_hit).to_line());
+    client.send_line(&alloc_request("miss", &g_miss).to_line());
+
+    let mut by_id: std::collections::HashMap<String, Result<_, _>> =
+        std::collections::HashMap::new();
+    for _ in 0..3 {
+        match client.read_response() {
+            WireResponse::Ok(a) => by_id.insert(a.id.clone(), Ok(a)),
+            WireResponse::Err(e) => by_id.insert(e.id.clone().unwrap_or_default(), Err(e)),
+        };
+    }
+    let Some(Ok(hit)) = by_id.get("hit") else {
+        panic!("a cache hit must still be served past the watermark")
+    };
+    assert!(hit.cached, "the watermark answer must come from the LRU");
+    let Some(Err(miss)) = by_id.get("miss") else {
+        panic!("a cache miss past the watermark must shed")
+    };
+    assert_eq!(miss.error, "overloaded");
+    let Some(Ok(stalled)) = by_id.get("stalled") else {
+        panic!("the stalled request itself must complete")
+    };
+    assert_eq!(stalled.placement.len(), g_stall.num_nodes());
+
+    client.shutdown();
+    let report = handle.join().expect("server thread");
+    assert_eq!(report.shed_overload, 1);
+    assert_eq!(report.responses, 3, "warm, stalled, and the cache hit");
+    assert_eq!(report.errors, 1, "only the shed miss failed");
 }
 
 #[test]
