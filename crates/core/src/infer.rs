@@ -26,9 +26,10 @@ use crate::encoder::EdgeAwareGnn;
 use crate::model::{sigmoid, CoarsenModel};
 use spg_graph::features::{EDGE_FEATURES, NODE_FEATURES};
 use spg_graph::{Csr, GraphFeatures, StreamGraph};
-use spg_nn::Matrix;
+use spg_nn::quant::tanh_assign_fast;
+use spg_nn::{Matrix, QuantizedLinear, QuantizedMlp};
 
-pub use spg_nn::InferenceScratch;
+pub use spg_nn::{InferenceScratch, QuantScratch};
 
 /// A topology view for inference: edge list plus forward/reverse CSR.
 struct InferTopo<'a> {
@@ -369,6 +370,252 @@ impl CoarsenModel {
             rev: &union.rev,
         };
         let probs = self.infer_probs_topo(&topo, &union.node, &union.edge, scratch);
+        let mut pos = 0;
+        for &i in &edged {
+            let e = items[i].0.num_edges();
+            out[i] = probs[pos..pos + e].to_vec();
+            pos += e;
+        }
+        out
+    }
+
+    /// Quantize every weight matrix into an int8 [`QuantizedModel`].
+    /// Done once at checkpoint load; the f32 model stays untouched.
+    pub fn quantize(&self) -> QuantizedModel {
+        QuantizedModel {
+            input_proj: QuantizedLinear::from_linear(&self.encoder.input_proj),
+            msg: QuantizedMlp::from_mlp(&self.encoder.msg),
+            update: QuantizedLinear::from_linear(&self.encoder.update),
+            head_proj: QuantizedLinear::from_linear(&self.head.head_proj),
+            tail_proj: QuantizedLinear::from_linear(&self.head.tail_proj),
+            edge_proj: QuantizedLinear::from_linear(&self.head.edge_proj),
+            merge: QuantizedMlp::from_mlp(&self.head.merge),
+            hidden: self.encoder.hidden,
+            hops: self.encoder.hops,
+            edge_encoding: self.encoder.edge_encoding,
+            edge_collapse_features: self.head.edge_collapse_features,
+        }
+    }
+}
+
+/// Int8-quantized twin of [`CoarsenModel`] for the opt-in serve path:
+/// every `Linear` becomes a [`QuantizedLinear`] (per-output-channel
+/// symmetric scales fixed at quantization time), while the graph ops
+/// (gather, segment mean, concat) and activations stay f32. Results are
+/// deterministic across replicas and SIMD tiers — the integer
+/// accumulation argument lives in `spg_nn::quant` — but are *not*
+/// bitwise equal to the f32 path; `tests/quantized_agreement.rs` pins
+/// how closely the resulting placements must agree.
+#[derive(Debug, Clone)]
+pub struct QuantizedModel {
+    input_proj: QuantizedLinear,
+    msg: QuantizedMlp,
+    update: QuantizedLinear,
+    head_proj: QuantizedLinear,
+    tail_proj: QuantizedLinear,
+    edge_proj: QuantizedLinear,
+    merge: QuantizedMlp,
+    hidden: usize,
+    hops: usize,
+    edge_encoding: bool,
+    edge_collapse_features: bool,
+}
+
+impl QuantizedModel {
+    /// Quantized twin of `EdgeAwareGnn::encode_infer`: same arena
+    /// ping-pong and graph ops, quantized matmuls.
+    fn encode_infer_quantized(
+        &self,
+        topo: &InferTopo<'_>,
+        node_feats: &[f32],
+        edge_feats: &[f32],
+        s: &mut InferenceScratch,
+        q: &mut QuantScratch,
+    ) -> Matrix {
+        let n = topo.num_nodes;
+        let e = topo.edges.len();
+        let m = self.hidden;
+
+        let mut nf = s.take(n, NODE_FEATURES);
+        nf.data.copy_from_slice(node_feats);
+        let mut h_up = s.take(n, m);
+        self.input_proj.forward_infer(&nf, q, &mut h_up);
+        s.put(nf);
+        tanh_assign_fast(&mut h_up);
+
+        if e == 0 {
+            let mut out = s.take(n, 2 * m);
+            concat2(&h_up, &h_up, &mut out);
+            s.put(h_up);
+            return out;
+        }
+
+        let mut h_down = s.take(n, m);
+        h_down.data.copy_from_slice(&h_up.data);
+
+        let mut ef = s.take(e, EDGE_FEATURES);
+        if self.edge_encoding {
+            ef.data.copy_from_slice(edge_feats);
+        }
+
+        let mut cat = s.take(e, m + EDGE_FEATURES);
+        let mut pool = s.take(n, m);
+        let mut cat2 = s.take(n, 2 * m);
+        for _ in 0..self.hops {
+            gather_concat(&h_up, topo.edges, true, &ef, &mut cat);
+            let mut msg = self.msg.forward_infer(&cat, q, s);
+            tanh_assign_fast(&mut msg);
+            pool.fill_zero();
+            segment_mean_csr(&msg, topo.rev, &mut pool);
+            s.put(msg);
+            concat2(&h_up, &pool, &mut cat2);
+            let mut up_new = s.take(n, m);
+            self.update.forward_infer(&cat2, q, &mut up_new);
+            tanh_assign_fast(&mut up_new);
+
+            gather_concat(&h_down, topo.edges, false, &ef, &mut cat);
+            let mut msg = self.msg.forward_infer(&cat, q, s);
+            tanh_assign_fast(&mut msg);
+            pool.fill_zero();
+            segment_mean_csr(&msg, topo.fwd, &mut pool);
+            s.put(msg);
+            concat2(&h_down, &pool, &mut cat2);
+            let mut down_new = s.take(n, m);
+            self.update.forward_infer(&cat2, q, &mut down_new);
+            tanh_assign_fast(&mut down_new);
+
+            s.put(h_up);
+            s.put(h_down);
+            h_up = up_new;
+            h_down = down_new;
+        }
+        s.put(ef);
+        s.put(cat);
+        s.put(pool);
+        s.put(cat2);
+
+        let mut out = s.take(n, 2 * m);
+        concat2(&h_up, &h_down, &mut out);
+        s.put(h_up);
+        s.put(h_down);
+        out
+    }
+
+    /// Quantized twin of `CollapseHead::logits_infer`.
+    fn logits_infer_quantized(
+        &self,
+        topo: &InferTopo<'_>,
+        edge_feats: &[f32],
+        h: &Matrix,
+        s: &mut InferenceScratch,
+        q: &mut QuantScratch,
+    ) -> Matrix {
+        let e = topo.edges.len();
+        assert!(e > 0, "logits need at least one edge");
+        let n = h.rows;
+        let m = self.head_proj.output_dim();
+        let eh = self.edge_proj.output_dim();
+
+        let mut head_all = s.take(n, m);
+        self.head_proj.forward_infer(h, q, &mut head_all);
+        let mut tail_all = s.take(n, m);
+        self.tail_proj.forward_infer(h, q, &mut tail_all);
+
+        let mut ef_in = s.take(e, EDGE_FEATURES);
+        if self.edge_collapse_features {
+            ef_in.data.copy_from_slice(edge_feats);
+        }
+        let mut ef = s.take(e, eh);
+        self.edge_proj.forward_infer(&ef_in, q, &mut ef);
+        tanh_assign_fast(&mut ef);
+        s.put(ef_in);
+
+        let mut cat = s.take(e, 2 * m + eh);
+        for (i, &(u, v)) in topo.edges.iter().enumerate() {
+            let row = cat.row_mut(i);
+            row[..m].copy_from_slice(head_all.row(u as usize));
+            row[m..2 * m].copy_from_slice(tail_all.row(v as usize));
+            row[2 * m..].copy_from_slice(ef.row(i));
+        }
+        s.put(head_all);
+        s.put(tail_all);
+        s.put(ef);
+
+        let logits = self.merge.forward_infer(&cat, q, s);
+        s.put(cat);
+        logits
+    }
+
+    /// Quantized twin of [`CoarsenModel::infer_probs`]: collapse
+    /// probabilities for one graph; empty for edgeless graphs.
+    pub fn infer_probs(
+        &self,
+        graph: &StreamGraph,
+        feats: &GraphFeatures,
+        scratch: &mut InferenceScratch,
+        qscratch: &mut QuantScratch,
+    ) -> Vec<f32> {
+        if graph.num_edges() == 0 {
+            return Vec::new();
+        }
+        let view = graph.topo_view();
+        let topo = InferTopo {
+            num_nodes: view.num_nodes,
+            edges: view.edges,
+            fwd: graph.out_csr(),
+            rev: graph.in_csr(),
+        };
+        self.infer_probs_topo(&topo, &feats.node.0, &feats.edge.0, scratch, qscratch)
+    }
+
+    fn infer_probs_topo(
+        &self,
+        topo: &InferTopo<'_>,
+        node_feats: &[f32],
+        edge_feats: &[f32],
+        scratch: &mut InferenceScratch,
+        qscratch: &mut QuantScratch,
+    ) -> Vec<f32> {
+        let h = self.encode_infer_quantized(topo, node_feats, edge_feats, scratch, qscratch);
+        let z = self.logits_infer_quantized(topo, edge_feats, &h, scratch, qscratch);
+        scratch.put(h);
+        let probs = z.data.iter().map(|&x| sigmoid(x)).collect();
+        scratch.put(z);
+        probs
+    }
+
+    /// Quantized twin of [`CoarsenModel::predict_probs_batch_with`]:
+    /// identical batching, union caching, and result slicing; only the
+    /// matmuls are quantized.
+    pub fn predict_probs_batch_with(
+        &self,
+        union: &mut BatchUnion,
+        scratch: &mut InferenceScratch,
+        qscratch: &mut QuantScratch,
+        keys: Option<&[u64]>,
+        items: &[(&StreamGraph, &GraphFeatures)],
+    ) -> Vec<Vec<f32>> {
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); items.len()];
+        let edged: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].0.num_edges() > 0)
+            .collect();
+        if edged.is_empty() {
+            return out;
+        }
+        if edged.len() == 1 {
+            let (g, f) = items[edged[0]];
+            out[edged[0]] = self.infer_probs(g, f, scratch, qscratch);
+            return out;
+        }
+
+        union.build(items, &edged, keys);
+        let topo = InferTopo {
+            num_nodes: union.num_nodes,
+            edges: &union.edges,
+            fwd: &union.fwd,
+            rev: &union.rev,
+        };
+        let probs = self.infer_probs_topo(&topo, &union.node, &union.edge, scratch, qscratch);
         let mut pos = 0;
         for &i in &edged {
             let e = items[i].0.num_edges();

@@ -43,7 +43,14 @@ impl BoxStats {
     }
 }
 
-/// Linear-interpolated quantile of a sorted sample.
+/// Linear-interpolated quantile of a sorted sample (`q` in `0.0..=1.0`).
+///
+/// Used only by the Fig. 8 boxplot statistics, where smooth quartiles
+/// over small buckets read better than step functions. Benchmark
+/// reports use `spg_obs::percentile` (nearest-rank) instead — the two
+/// deliberately disagree on even-length samples (interpolation invents
+/// values between observations; nearest-rank never does), so keep them
+/// separate.
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
     let pos = q * (sorted.len() - 1) as f64;
@@ -107,6 +114,22 @@ mod tests {
         assert_eq!(quantile(&s, 0.5), 5.0);
         assert_eq!(quantile(&s, 0.0), 0.0);
         assert_eq!(quantile(&s, 1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // q=0 and q=1 are exact order statistics (no interpolation can
+        // leak past the observed range), and a single-element sample
+        // answers every q with that element. The 0.5 midpoint of an
+        // even-length sample IS interpolated — the deliberate divergence
+        // from `spg_obs::percentile`, which would return 10.0 here.
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&s, 0.0), 10.0);
+        assert_eq!(quantile(&s, 1.0), 40.0);
+        assert_eq!(quantile(&[10.0, 20.0], 0.5), 15.0);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(quantile(&[42.0], q), 42.0);
+        }
     }
 
     #[test]

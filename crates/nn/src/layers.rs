@@ -75,7 +75,7 @@ impl Activation {
     }
 
     /// In-place variant using the same scalar ops as the tape versions.
-    fn apply_infer(self, x: &mut Matrix) {
+    pub(crate) fn apply_infer(self, x: &mut Matrix) {
         match self {
             Activation::Tanh => x.tanh_assign(),
             Activation::Relu => x.relu_assign(),
@@ -87,8 +87,8 @@ impl Activation {
 /// Multi-layer perceptron: hidden layers with activation, linear output.
 #[derive(Debug, Clone)]
 pub struct Mlp {
-    layers: Vec<Linear>,
-    activation: Activation,
+    pub(crate) layers: Vec<Linear>,
+    pub(crate) activation: Activation,
 }
 
 impl Mlp {

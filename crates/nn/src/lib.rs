@@ -21,6 +21,7 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod param;
+pub mod quant;
 pub mod scratch;
 pub mod tape;
 
@@ -28,5 +29,6 @@ pub use layers::{Linear, LstmCell, Mlp};
 pub use matrix::{matmul_mode, set_matmul_mode, stable_sigmoid, MatmulMode, Matrix};
 pub use optim::Adam;
 pub use param::{Param, ParamSet};
+pub use quant::{QuantScratch, QuantizedLinear, QuantizedMlp};
 pub use scratch::InferenceScratch;
 pub use tape::{Tape, Var};

@@ -458,7 +458,7 @@ mod portable {
 // ---- x86-64 SIMD kernels --------------------------------------------------
 
 #[cfg(target_arch = "x86_64")]
-mod x86 {
+pub(crate) mod x86 {
     use std::arch::x86_64::*;
     use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -574,8 +574,17 @@ impl TelemetrySink {
 }
 
 /// Nearest-rank percentile of an unsorted sample (`p` in `0.0..=100.0`).
-/// Returns NaN for an empty sample. Used by benchmark reports (latency
-/// p50/p99) so every consumer ranks the same way.
+/// Returns NaN for an empty sample.
+///
+/// **This is the authority for benchmark reports** (every latency
+/// p50/p99 in `BENCH_serve.json` and the serve/drift bench paths).
+/// Nearest-rank always returns an *observed* sample — a latency that
+/// actually happened — and pins `p=0` to the minimum and `p=100` to the
+/// maximum. It deliberately differs from `spg_eval::stats::quantile`,
+/// which linearly interpolates between ranks for the paper's Fig. 8
+/// boxplots; the two disagree on even-length samples (see the
+/// divergence pin in this module's tests), so do not swap one for the
+/// other.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return f64::NAN;
@@ -627,6 +636,23 @@ mod tests {
         assert!(percentile(&[], 50.0).is_nan());
         // Order-independent.
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_diverges_from_interpolation_by_design() {
+        // The divergence pin against `spg_eval::stats::quantile`: on an
+        // even-length sample the bench authority returns the lower
+        // observed sample (nearest rank), never the interpolated
+        // midpoint. If this fails, someone unified the two definitions —
+        // every historical BENCH_serve.json row would silently re-rank.
+        let s = [10.0, 20.0];
+        assert_eq!(percentile(&s, 50.0), 10.0, "not 15.0: never interpolate");
+        assert_eq!(percentile(&s, 0.0), 10.0, "p=0 pins the minimum");
+        assert_eq!(percentile(&s, 100.0), 20.0, "p=100 pins the maximum");
+        // len-1: every p collapses onto the only observation.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
     }
 
     #[test]

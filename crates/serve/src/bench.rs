@@ -10,6 +10,7 @@
 //! cross-checks determinism: every response for the same graph must
 //! carry the bitwise-identical placement.
 
+use serde::Serialize;
 use spg_gen::{drift_scenario, DatasetSpec, Setting};
 use spg_graph::wire::{shutdown_line, AllocRequest, ReallocRequest, WireResponse};
 use spg_graph::{GraphDelta, StreamGraph};
@@ -65,7 +66,7 @@ impl Default for BenchConfig {
 }
 
 /// What the load generator measured.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchReport {
     /// Server replica count this row was measured against.
     pub replicas: usize,
@@ -104,6 +105,38 @@ pub struct BenchReport {
     pub encode_ms: Option<f64>,
     /// Server-side time in decode → place → simulate (ms).
     pub rollout_ms: Option<f64>,
+}
+
+// Hand-written so the stage-split fields are *omitted* when the bench
+// ran without `--serve-metrics` (or the mode cannot measure them),
+// instead of the derive's `"encode_ms": null`. A `BENCH_serve.json` row
+// either carries a real split or no split keys at all.
+impl Serialize for BenchReport {
+    fn serialize(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("replicas".into(), self.replicas.serialize()),
+            ("connections".into(), self.connections.serialize()),
+            ("requests".into(), self.requests.serialize()),
+            ("ok".into(), self.ok.serialize()),
+            ("errors".into(), self.errors.serialize()),
+            ("timeouts".into(), self.timeouts.serialize()),
+            ("short_reads".into(), self.short_reads.serialize()),
+            ("parse_errors".into(), self.parse_errors.serialize()),
+            ("cached".into(), self.cached.serialize()),
+            ("elapsed_s".into(), self.elapsed_s.serialize()),
+            ("sustained_rps".into(), self.sustained_rps.serialize()),
+            ("latency_p50_ms".into(), self.latency_p50_ms.serialize()),
+            ("latency_p99_ms".into(), self.latency_p99_ms.serialize()),
+            ("consistent".into(), self.consistent.serialize()),
+        ];
+        if let Some(e) = self.encode_ms {
+            fields.push(("encode_ms".into(), e.serialize()));
+        }
+        if let Some(r) = self.rollout_ms {
+            fields.push(("rollout_ms".into(), r.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl BenchReport {
@@ -377,7 +410,7 @@ fn run_connection(
 /// What the drift bench measured: placement quality retained by the
 /// warm-start path against the latency it saved, plus the empty-delta
 /// replay consistency check.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct DriftReport {
     /// Drift scenarios exercised (each: prior alloc → empty-delta
     /// replay → full re-alloc of the mutated graph → warm realloc).
@@ -403,6 +436,37 @@ pub struct DriftReport {
     /// Minimum over scenarios of warm relative throughput ÷ full
     /// relative throughput — the acceptance bar is ≥ 0.98.
     pub min_reward_ratio: f64,
+    /// Server-side time in feature extraction + model forward (ms),
+    /// parsed from the server's telemetry stream (`serve_metrics`).
+    pub encode_ms: Option<f64>,
+    /// Server-side time in decode → place → simulate (ms).
+    pub rollout_ms: Option<f64>,
+}
+
+// Same omit-when-absent policy as [`BenchReport`]: a drift row without
+// `--serve-metrics` simply has no split keys.
+impl Serialize for DriftReport {
+    fn serialize(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("scenarios".into(), self.scenarios.serialize()),
+            ("warm_ok".into(), self.warm_ok.serialize()),
+            ("full_ok".into(), self.full_ok.serialize()),
+            ("errors".into(), self.errors.serialize()),
+            ("consistent".into(), self.consistent.serialize()),
+            ("latency_p50_ms".into(), self.latency_p50_ms.serialize()),
+            ("latency_p99_ms".into(), self.latency_p99_ms.serialize()),
+            ("full_p50_ms".into(), self.full_p50_ms.serialize()),
+            ("latency_ratio".into(), self.latency_ratio.serialize()),
+            ("min_reward_ratio".into(), self.min_reward_ratio.serialize()),
+        ];
+        if let Some(e) = self.encode_ms {
+            fields.push(("encode_ms".into(), e.serialize()));
+        }
+        if let Some(r) = self.rollout_ms {
+            fields.push(("rollout_ms".into(), r.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl DriftReport {
@@ -542,6 +606,12 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
         out.write_all(b"\n")?;
         out.flush()?;
     }
+    // Same stage-split fold-in as `run_bench`: the drained server's
+    // encode/rollout counters become the drift row's split.
+    let (encode_ms, rollout_ms) = match &cfg.serve_metrics {
+        Some(path) if cfg.shutdown => read_serve_split(path),
+        _ => (None, None),
+    };
 
     let latency_p50_ms = spg_obs::percentile(&warm_lat, 50.0);
     let full_p50_ms = spg_obs::percentile(&full_lat, 50.0);
@@ -564,6 +634,8 @@ pub fn run_drift_bench(cfg: &BenchConfig) -> std::io::Result<DriftReport> {
         } else {
             0.0
         },
+        encode_ms,
+        rollout_ms,
     })
 }
 

@@ -24,12 +24,15 @@
 use crate::error::ServeError;
 use crate::lru::LruCache;
 use crate::reactor::Waker;
-use crate::server::{ServeConfig, ServeReport};
+use crate::server::{Precision, ServeConfig, ServeReport};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg_core::checkpoint::Checkpoint;
 use spg_core::policy::{CoarseningPolicy, DecodeMode};
-use spg_core::{rollout, BatchUnion, CoarsePlacer, InferenceScratch, MetisCoarsePlacer};
+use spg_core::{
+    rollout, BatchUnion, CoarsePlacer, InferenceScratch, MetisCoarsePlacer, QuantScratch,
+    QuantizedModel,
+};
 use spg_graph::wire::AllocResponse;
 use spg_graph::{
     ClusterSpec, DeltaError, GraphDelta, GraphFeatures, Placement, StreamGraph, TupleRates,
@@ -207,11 +210,18 @@ fn replica_loop(
     generation: u64,
 ) {
     let model = checkpoint.into_model();
+    // The quantized twin is materialized once per incarnation, exactly
+    // like the f32 model: scale selection happens here, not per request.
+    let qmodel = match cfg.precision {
+        Precision::F32 => None,
+        Precision::Int8 => Some(model.quantize()),
+    };
     let policy = CoarseningPolicy::from_config(&model.config);
     let placer = MetisCoarsePlacer::new(cfg.seed);
     let mut cache: LruCache<(Vec<u32>, f64)> = LruCache::new(cfg.cache_capacity);
     let mut union = BatchUnion::new();
     let mut scratch = InferenceScratch::new();
+    let mut qscratch = QuantScratch::new();
     let timeout = Duration::from_millis(cfg.request_timeout_ms);
     let workers = cfg.workers.clamp(1, rollout::default_workers());
     let inc_cfg = IncrementalConfig::default();
@@ -405,10 +415,12 @@ fn replica_loop(
                             source_rate,
                             base_cluster,
                             &model,
+                            qmodel.as_ref(),
                             &policy,
                             &placer,
                             &mut union,
                             &mut scratch,
+                            &mut qscratch,
                             report,
                         );
                         Ok((placement, relative, Some("full")))
@@ -421,6 +433,7 @@ fn replica_loop(
                     // The batcher state may be mid-update; rebuild it.
                     union = BatchUnion::new();
                     scratch = InferenceScratch::new();
+                    qscratch = QuantScratch::new();
                     report.panics_caught += 1;
                     sink.counter("serve.fault.panics_caught", 1);
                     Err(ServeError::Internal(format!(
@@ -506,7 +519,21 @@ fn replica_loop(
                     // topology, devices, and rate — everything the features
                     // are derived from.
                     let keys: Vec<u64> = unique.iter().map(|&i| todo[i].fingerprint).collect();
-                    model.predict_probs_batch_with(&mut union, &mut scratch, Some(&keys), &items)
+                    match &qmodel {
+                        Some(qm) => qm.predict_probs_batch_with(
+                            &mut union,
+                            &mut scratch,
+                            &mut qscratch,
+                            Some(&keys),
+                            &items,
+                        ),
+                        None => model.predict_probs_batch_with(
+                            &mut union,
+                            &mut scratch,
+                            Some(&keys),
+                            &items,
+                        ),
+                    }
                 };
                 (prepared, probs)
             };
@@ -542,6 +569,7 @@ fn replica_loop(
             Err(_) => {
                 union = BatchUnion::new();
                 scratch = InferenceScratch::new();
+                qscratch = QuantScratch::new();
                 report.panics_caught += 1;
                 sink.counter("serve.fault.panics_caught", 1);
                 let err = ServeError::Internal(format!(
@@ -590,8 +618,9 @@ fn replica_loop(
 
 /// The full pipeline for one graph — the above-threshold realloc
 /// fallback. Keyed and RNG-seeded by the *mutated* graph's own request
-/// fingerprint so the result is bit-identical to what a plain alloc of
-/// that graph would return (and the union cache is shared with it).
+/// fingerprint — precision-tagged exactly like the router keys — so the
+/// result is bit-identical to what a plain alloc of that graph would
+/// return on the same server (and the union cache is shared with it).
 #[allow(clippy::too_many_arguments)]
 fn solo_alloc(
     graph: &StreamGraph,
@@ -599,13 +628,19 @@ fn solo_alloc(
     source_rate: f64,
     base_cluster: ClusterSpec,
     model: &spg_core::CoarsenModel,
+    qmodel: Option<&QuantizedModel>,
     policy: &CoarseningPolicy,
     placer: &MetisCoarsePlacer,
     union: &mut BatchUnion,
     scratch: &mut InferenceScratch,
+    qscratch: &mut QuantScratch,
     report: &mut ServeReport,
 ) -> (Vec<u32>, f64) {
     let key = crate::lru::request_fingerprint(graph, devices, source_rate);
+    let key = match qmodel {
+        Some(_) => crate::lru::quantized_fingerprint(key),
+        None => key,
+    };
     let cluster = ClusterSpec {
         devices,
         ..base_cluster
@@ -613,7 +648,12 @@ fn solo_alloc(
     let encode_start = Instant::now();
     let rates = TupleRates::compute(graph, source_rate);
     let feats = GraphFeatures::extract_with_rates(graph, &cluster, &rates);
-    let probs = model.predict_probs_batch_with(union, scratch, Some(&[key]), &[(graph, &feats)]);
+    let probs = match qmodel {
+        Some(qm) => {
+            qm.predict_probs_batch_with(union, scratch, qscratch, Some(&[key]), &[(graph, &feats)])
+        }
+        None => model.predict_probs_batch_with(union, scratch, Some(&[key]), &[(graph, &feats)]),
+    };
     report.encode_ns += encode_start.elapsed().as_nanos() as u64;
 
     let rollout_start = Instant::now();

@@ -22,10 +22,10 @@
 //! replicas gone and every response byte is flushed.
 
 use crate::error::ServeError;
-use crate::lru::{realloc_fingerprint, request_fingerprint};
+use crate::lru::{quantized_fingerprint, realloc_fingerprint, request_fingerprint};
 use crate::reactor::{poll_fds, PollFd, WakePipe, POLLIN, POLLOUT};
 use crate::replica::{Completion, Job, JobKind};
-use crate::server::ServeConfig;
+use crate::server::{Precision, ServeConfig};
 use spg_graph::wire::{parse_request, WireRequest};
 use spg_graph::ClusterSpec;
 use spg_obs::TelemetrySink;
@@ -206,6 +206,13 @@ impl Router<'_> {
                 prior_placement,
                 delta,
             } => realloc_fingerprint(&graph, prior_placement, delta, devices, rate),
+        };
+        // An int8 server keys its caches (and rollout seeds) in a
+        // precision-tagged space so quantized placements can never leak
+        // into an f32 deployment's key space; f32 keys are untouched.
+        let fingerprint = match self.cfg.precision {
+            Precision::F32 => fingerprint,
+            Precision::Int8 => quantized_fingerprint(fingerprint),
         };
         let shard = shard_of(fingerprint, self.job_txs.len() as u32);
         // Past the watermark the shard is already behind: mark the job

@@ -49,12 +49,15 @@ echo "kill-and-resume smoke OK"
 # 0. Cross-replica bitwise identity and the 1000-idle-connection soak
 # are pinned by tests/serve_cluster.rs in the `cargo test` run above.
 # The sweep matches the checked-in BENCH_serve.json rows so the perf
-# gate below compares like with like.
+# gate below compares like with like. Each smoke gets its own metrics
+# file so one server's drained telemetry never pollutes another's
+# encode/rollout time split.
 serve_smoke() {
-    local replicas=$1 connections=$2
+    local replicas=$1 connections=$2 precision=${3:-f32}
+    local metrics="$SMOKE_DIR/serve_metrics_${precision}_r${replicas}.jsonl"
     "$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
-        --replicas "$replicas" \
-        --metrics "$SMOKE_DIR/serve_metrics.jsonl" \
+        --replicas "$replicas" --precision "$precision" \
+        --metrics "$metrics" \
         > "$SMOKE_DIR/serve.log" 2>&1 &
     SERVE_PID=$!
     ADDR=""
@@ -71,13 +74,22 @@ serve_smoke() {
     "$SPG" bench-serve --addr "$ADDR" --replicas "$replicas" \
         --connections "$connections" --requests 64 \
         --graphs 8 --rate 200 --seed 0 --shutdown \
-        --serve-metrics "$SMOKE_DIR/serve_metrics.jsonl" \
+        --precision "$precision" \
+        --serve-metrics "$metrics" \
         --out "$SMOKE_DIR/bench_serve.json"
     wait "$SERVE_PID"   # clean drain must exit 0
 }
 serve_smoke 1 4
 serve_smoke 2 2,4
 echo "serve smoke OK"
+
+# Quantized serving: the placement-agreement harness (int8 vs f32 over
+# the seeded corpus, pinned agreement + reward-ratio floors), then an
+# int8 serve → bench → drain smoke writing the `q8` row the perf gate
+# compares. int8 is opt-in: everything above ran the default f32 path.
+cargo test -q --test quantized_agreement
+serve_smoke 1 4 int8
+echo "int8 serve smoke OK"
 
 # Realloc smoke: a fresh server, the `spg realloc` demo client (alloc ->
 # drift -> warm realloc), then the drift bench, which replays an empty
@@ -87,6 +99,7 @@ echo "serve smoke OK"
 # reads. bench-serve --drift exits nonzero if any scenario errors, no
 # scenario takes the warm path, or the empty-delta replay diverges.
 "$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
+    --metrics "$SMOKE_DIR/drift_metrics.jsonl" \
     > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 ADDR=""
@@ -103,7 +116,8 @@ fi
 "$SPG" realloc --addr "$ADDR" --seed 1
 "$SPG" realloc --addr "$ADDR" --seed 2 --drift device-loss
 "$SPG" bench-serve --addr "$ADDR" --drift --graphs 4 --seed 0 \
-    --shutdown --out "$SMOKE_DIR/bench_serve.json"
+    --shutdown --serve-metrics "$SMOKE_DIR/drift_metrics.jsonl" \
+    --out "$SMOKE_DIR/bench_serve.json"
 wait "$SERVE_PID"   # clean drain must exit 0
 echo "realloc smoke OK"
 
@@ -115,6 +129,7 @@ echo "realloc smoke OK"
 # gaps are not). The server process itself must still drain to exit 0.
 "$SPG" serve --model "$SMOKE_DIR/model.json" --addr 127.0.0.1:0 \
     --replicas 2 \
+    --metrics "$SMOKE_DIR/chaos_metrics.jsonl" \
     --inject-replica-panics 0.05 --inject-replica-kills 0.02 \
     --inject-replica-stalls 0.02 \
     --inject-conn-drops 0.05 --inject-torn-writes 0.05 \
@@ -133,6 +148,7 @@ if [ -z "$ADDR" ]; then
 fi
 "$SPG" bench-serve --addr "$ADDR" --chaos --replicas 2 --connections 4 \
     --requests 64 --graphs 8 --rate 200 --seed 0 --shutdown \
+    --serve-metrics "$SMOKE_DIR/chaos_metrics.jsonl" \
     --out "$SMOKE_DIR/bench_serve.json"
 wait "$SERVE_PID"   # a chaos-drilled server must still drain to exit 0
 echo "chaos smoke OK"

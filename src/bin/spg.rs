@@ -346,6 +346,7 @@ fn serve(args: ServeArgs) -> ExitCode {
         .request_timeout_ms(args.timeout_ms)
         .cache_capacity(args.cache)
         .shed_watermark(args.shed_watermark)
+        .precision(args.precision)
         .seed(args.seed);
     if let Some(workers) = args.workers {
         builder = builder.workers(workers);
@@ -570,7 +571,7 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
             seed: args.seed,
             rate: args.rate,
             shutdown: args.shutdown,
-            serve_metrics: None,
+            serve_metrics: args.serve_metrics.clone(),
         };
         let report = match spg::serve::run_drift_bench(&cfg) {
             Ok(report) => report,
@@ -593,6 +594,9 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
             report.min_reward_ratio,
             report.consistent
         );
+        if let (Some(e), Some(r)) = (report.encode_ms, report.rollout_ms) {
+            println!("server time split: encode {e:.1} ms, rollout {r:.1} ms");
+        }
         let failure = if !report.consistent {
             Some("empty-delta realloc diverged from the prior response")
         } else if report.warm_ok == 0 {
@@ -705,7 +709,12 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let key = format!("r{}c{}", args.replicas, connections);
+        // An int8 sweep is one gated row (`q8`), comparable against the
+        // f32 `r<replicas>c<conns>` rows it shares the file with.
+        let key = match args.precision {
+            spg::serve::Precision::Int8 => "q8".to_string(),
+            spg::serve::Precision::F32 => format!("r{}c{}", args.replicas, connections),
+        };
         println!(
             "{key}: {}/{} ok ({} cached, {} errors) in {:.2}s — {:.1} req/s \
              sustained, latency p50 {:.1} ms / p99 {:.1} ms",
@@ -749,6 +758,9 @@ fn bench_serve(args: BenchServeArgs) -> ExitCode {
 fn bench_matmul(args: BenchMatmulArgs) -> ExitCode {
     use spg::nn::{MatmulMode, Matrix};
     let (n, k, m) = (args.n, args.k, args.m);
+    if args.precision == spg::serve::Precision::Int8 {
+        return bench_matmul_int8(&args);
+    }
     let mode = if args.fast {
         MatmulMode::Fast
     } else {
@@ -782,6 +794,49 @@ fn bench_matmul(args: BenchMatmulArgs) -> ExitCode {
         "matmul {n}x{k}x{m} ({}): {ns_per_iter:.0} ns/iter, {gflops:.2} GFLOP/s \
          over {} iters",
         if args.fast { "fast" } else { "strict" },
+        args.iters
+    );
+    ExitCode::SUCCESS
+}
+
+/// Time the integer-accumulated i8×i8→i32 kernel behind the quantized
+/// serving path. The f32 operands are the same deterministic fills as
+/// the strict bench, quantized per-row exactly as inference does, so
+/// the shapes and value distributions match across the precision rows.
+fn bench_matmul_int8(args: &BenchMatmulArgs) -> ExitCode {
+    use spg::nn::quant::{gemm_i8, padded_width, quantize_rows_i8_padded};
+    let (n, k, m) = (args.n, args.k, args.m);
+    let a: Vec<f32> = (0..n * k).map(|i| ((i % 17) as f32 - 8.0) * 0.1).collect();
+    let b: Vec<f32> = (0..k * m).map(|i| ((i % 13) as f32 - 6.0) * 0.1).collect();
+    // gemm_i8 wants the right operand pre-transposed to [m×k], the
+    // layout quantized weights are stored in. Rows are zero-padded to
+    // the SIMD step, exactly as the quantized layers run (zero codes
+    // add zero products, so the sums are unchanged).
+    let mut bt = vec![0.0f32; k * m];
+    for r in 0..k {
+        for c in 0..m {
+            bt[c * k + r] = b[r * m + c];
+        }
+    }
+    let kp = padded_width(k);
+    let (mut a_q, mut a_scale) = (Vec::new(), Vec::new());
+    let (mut bt_q, mut bt_scale) = (Vec::new(), Vec::new());
+    quantize_rows_i8_padded(&a, n, k, kp, &mut a_q, &mut a_scale);
+    quantize_rows_i8_padded(&bt, m, k, kp, &mut bt_q, &mut bt_scale);
+    let mut out = vec![0i32; n * m];
+    for _ in 0..3 {
+        gemm_i8(&a_q, &bt_q, &mut out, n, kp, m);
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..args.iters {
+        gemm_i8(&a_q, &bt_q, &mut out, n, kp, m);
+        std::hint::black_box(&out);
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / args.iters as f64;
+    let gflops = 2.0 * (n as f64) * (k as f64) * (m as f64) / ns_per_iter;
+    println!(
+        "matmul {n}x{k}x{m} (int8): {ns_per_iter:.0} ns/iter, {gflops:.2} GFLOP/s \
+         over {} iters",
         args.iters
     );
     ExitCode::SUCCESS

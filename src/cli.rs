@@ -8,6 +8,7 @@
 
 use spg_core::FaultPolicy;
 use spg_gen::{DriftKind, Setting};
+use spg_serve::Precision;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -136,6 +137,9 @@ pub struct ServeArgs {
     pub seed: u64,
     /// Telemetry JSONL output path (`None` = telemetry disabled).
     pub metrics: Option<PathBuf>,
+    /// Inference precision (`f32` default; `int8` is the opt-in
+    /// quantized path).
+    pub precision: Precision,
     /// Queue depth at which a replica stops admitting cache misses and
     /// sheds them `overloaded` (0 disables the watermark).
     pub shed_watermark: usize,
@@ -193,6 +197,9 @@ pub struct BenchServeArgs {
     /// after shutdown the report extracts the encode/rollout time split
     /// from it.
     pub serve_metrics: Option<PathBuf>,
+    /// Precision of the server under test; `int8` keys the merged sweep
+    /// row `q8` instead of `r<replicas>c<conns>`.
+    pub precision: Precision,
     /// Chaos audit: assert every request gets exactly one response or
     /// named error (no hangs) against a fault-injecting server; the
     /// report row is keyed `chaos`.
@@ -210,6 +217,9 @@ pub struct BenchMatmulArgs {
     pub iters: usize,
     /// Benchmark the fast-math kernels instead of the strict default.
     pub fast: bool,
+    /// Kernel precision: `f32` times the float matmul, `int8` the
+    /// integer-accumulated quantized kernel.
+    pub precision: Precision,
 }
 
 /// Why parsing stopped without producing a [`Command`].
@@ -357,6 +367,9 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --workers N     rollout worker threads (default: auto)\n\
              \x20 --seed S        placement seed (default 7)\n\
              \x20 --metrics FILE  write telemetry events (JSONL) to FILE\n\
+             \x20 --precision P   f32 | int8 (default f32); int8 serves the\n\
+             \x20                 quantized inference path — deterministic, but\n\
+             \x20                 cache-isolated from f32 placements\n\
              \x20 --shed-watermark N\n\
              \x20                 queue depth past which replicas serve only\n\
              \x20                 cache hits and shed the rest `overloaded`\n\
@@ -421,19 +434,24 @@ pub fn command_help(cmd: &str) -> String {
              \x20 --serve-metrics FILE\n\
              \x20                  telemetry JSONL written by `spg serve --metrics FILE`;\n\
              \x20                  after shutdown, fold the server's encode/rollout\n\
-             \x20                  time split into the report"
+             \x20                  time split into the report\n\
+             \x20 --precision P    f32 | int8 (default f32): precision of the server\n\
+             \x20                  under test; int8 keys the merged row `q8`"
             .to_string(),
         "bench-matmul" => "usage: spg bench-matmul [options]\n\
              \n\
-             Time the f32 matmul kernel at a given shape and print ns/iter\n\
-             and GFLOP/s. Strict (bitwise-deterministic) kernels by default;\n\
-             --fast times the FMA/reassociated variants instead.\n\
+             Time a matmul kernel at a given shape and print ns/iter and\n\
+             GFLOP/s. Strict (bitwise-deterministic) f32 kernels by default;\n\
+             --fast times the FMA/reassociated variants, --precision int8\n\
+             the integer-accumulated quantized kernel.\n\
              \n\
              options:\n\
              \x20 --shape NxKxM  problem shape [n x k]·[k x m]; `NxK` means\n\
              \x20                NxKxN, a bare `N` means NxNxN (default 128)\n\
              \x20 --iters N      timed iterations (default 50)\n\
-             \x20 --fast         use the fast-math kernels"
+             \x20 --fast         use the fast-math f32 kernels\n\
+             \x20 --precision P  f32 | int8 (default f32); int8 times the\n\
+             \x20                i8×i8→i32 kernel behind `spg serve --precision int8`"
             .to_string(),
         other => panic!("no help for unknown command `{other}`"),
     }
@@ -687,6 +705,7 @@ impl Command {
         let mut replicas = 1usize;
         let (mut max_batch, mut queue, mut cache) = (8usize, 64usize, 256usize);
         let (mut timeout_ms, mut seed) = (5000u64, 7u64);
+        let mut precision = Precision::F32;
         let mut shed_watermark = 0usize;
         let (mut inject_replica_panics, mut inject_replica_kills) = (0.0f64, 0.0f64);
         let (mut inject_replica_stalls, mut inject_conn_drops) = (0.0f64, 0.0f64);
@@ -718,6 +737,9 @@ impl Command {
                 "--workers" => workers = Some(parse_num("serve", "workers", a.value("workers")?)?),
                 "--seed" => seed = parse_num("serve", "seed", a.value("seed")?)?,
                 "--metrics" => metrics = Some(PathBuf::from(a.value("metrics")?)),
+                "--precision" => {
+                    precision = parse_num("serve", "precision", a.value("precision")?)?
+                }
                 "--shed-watermark" => {
                     shed_watermark =
                         parse_num("serve", "shed-watermark", a.value("shed-watermark")?)?
@@ -752,6 +774,7 @@ impl Command {
             workers,
             seed,
             metrics,
+            precision,
             shed_watermark,
             inject_replica_panics,
             inject_replica_kills,
@@ -801,6 +824,7 @@ impl Command {
         let (mut drift, mut chaos) = (false, false);
         let mut out = PathBuf::from("BENCH_serve.json");
         let mut serve_metrics = None;
+        let mut precision = Precision::F32;
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("bench-serve"))),
@@ -848,6 +872,9 @@ impl Command {
                 "--chaos" => chaos = true,
                 "--out" => out = PathBuf::from(a.value("out")?),
                 "--serve-metrics" => serve_metrics = Some(PathBuf::from(a.value("serve-metrics")?)),
+                "--precision" => {
+                    precision = parse_num("bench-serve", "precision", a.value("precision")?)?
+                }
                 other => return Err(a.unknown(other)),
             }
         }
@@ -869,6 +896,7 @@ impl Command {
             drift,
             out,
             serve_metrics,
+            precision,
             chaos,
         }))
     }
@@ -877,6 +905,7 @@ impl Command {
         let mut a = Args::new("bench-matmul", rest);
         let (mut n, mut k, mut m) = (128usize, 128usize, 128usize);
         let (mut iters, mut fast) = (50usize, false);
+        let mut precision = Precision::F32;
         while let Some(arg) = a.rest.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err(CliError::Help(command_help("bench-matmul"))),
@@ -915,8 +944,18 @@ impl Command {
                     }
                 }
                 "--fast" => fast = true,
+                "--precision" => {
+                    precision = parse_num("bench-matmul", "precision", a.value("precision")?)?
+                }
                 other => return Err(a.unknown(other)),
             }
+        }
+        if fast && precision == Precision::Int8 {
+            return Err(CliError::Usage(
+                "--fast applies only to the f32 kernels; drop it with --precision int8 \
+                 (see `spg bench-matmul --help`)"
+                    .to_string(),
+            ));
         }
         Ok(Command::BenchMatmul(BenchMatmulArgs {
             n,
@@ -924,6 +963,7 @@ impl Command {
             m,
             iters,
             fast,
+            precision,
         }))
     }
 }
@@ -1133,6 +1173,7 @@ mod tests {
         assert_eq!((s.max_batch, s.queue, s.cache), (8, 64, 256));
         assert_eq!((s.timeout_ms, s.seed), (5000, 7));
         assert_eq!((s.workers, s.metrics), (None, None));
+        assert_eq!(s.precision, Precision::F32, "int8 must be opt-in");
         assert_eq!(s.shed_watermark, 0);
         assert_eq!(
             (
@@ -1147,7 +1188,8 @@ mod tests {
 
         let Command::Serve(s) = parse(
             "serve --model m --addr 0.0.0.0:9000 --setting large --replicas 2 --max-batch 4 \
-             --queue 16 --timeout-ms 250 --cache 0 --workers 2 --seed 5 --metrics t.jsonl",
+             --queue 16 --timeout-ms 250 --cache 0 --workers 2 --seed 5 --metrics t.jsonl \
+             --precision int8",
         )
         .unwrap() else {
             panic!()
@@ -1159,6 +1201,7 @@ mod tests {
         assert_eq!((s.timeout_ms, s.seed), (250, 5));
         assert_eq!(s.workers, Some(2));
         assert_eq!(s.metrics, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(s.precision, Precision::Int8);
 
         let Err(CliError::Usage(msg)) = parse("serve") else {
             panic!()
@@ -1168,6 +1211,10 @@ mod tests {
             panic!()
         };
         assert!(msg.contains("--replicas"), "{msg}");
+        let Err(CliError::Usage(msg)) = parse("serve --model m --precision fp16") else {
+            panic!()
+        };
+        assert!(msg.contains("`fp16`") && msg.contains("int8"), "{msg}");
     }
 
     #[test]
@@ -1181,11 +1228,13 @@ mod tests {
         assert_eq!((b.requests, b.graphs), (64, 8));
         assert_eq!((b.seed, b.rate, b.shutdown), (0, 200.0, false));
         assert!(!b.drift);
+        assert_eq!(b.precision, Precision::F32);
         assert_eq!(b.out, PathBuf::from("BENCH_serve.json"));
 
         let Command::BenchServe(b) = parse(
             "bench-serve --addr h:1 --connections 2 --replicas 2 --requests 10 --graphs 3 \
-             --seed 9 --rate 50 --shutdown --out r.json --serve-metrics m.jsonl",
+             --seed 9 --rate 50 --shutdown --out r.json --serve-metrics m.jsonl \
+             --precision int8",
         )
         .unwrap() else {
             panic!()
@@ -1196,6 +1245,7 @@ mod tests {
         assert_eq!((b.seed, b.rate, b.shutdown), (9, 50.0, true));
         assert_eq!(b.out, PathBuf::from("r.json"));
         assert_eq!(b.serve_metrics, Some(PathBuf::from("m.jsonl")));
+        assert_eq!(b.precision, Precision::Int8);
 
         let Err(CliError::Usage(msg)) = parse("bench-serve --addr h:1 --rate -3") else {
             panic!()
@@ -1329,12 +1379,22 @@ mod tests {
         };
         assert_eq!((b.n, b.k, b.m), (320, 28, 24));
         assert_eq!((b.iters, b.fast), (7, true));
+        assert_eq!(b.precision, Precision::F32);
+
+        let Command::BenchMatmul(b) = parse("bench-matmul --precision int8 --shape 64").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(b.precision, Precision::Int8);
+        assert_eq!((b.n, b.k, b.m), (64, 64, 64));
 
         for bad in [
             "bench-matmul --shape 0x3x3",
             "bench-matmul --shape 1x2x3x4",
             "bench-matmul --shape axb",
             "bench-matmul --iters 0",
+            "bench-matmul --fast --precision int8",
+            "bench-matmul --precision fp16",
         ] {
             assert!(
                 matches!(parse(bad), Err(CliError::Usage(_))),

@@ -11,7 +11,7 @@ use spg::model::checkpoint::Checkpoint;
 use spg::model::pipeline::MetisCoarsePlacer;
 use spg::model::{CoarsenConfig, CoarsenModel, ReinforceTrainer, TrainOptions};
 use spg::obs::TelemetrySink;
-use spg::serve::{request_fingerprint, shard_of, ServeConfig, ServeReport, Server};
+use spg::serve::{request_fingerprint, shard_of, Precision, ServeConfig, ServeReport, Server};
 use spg::sim::inject;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -157,6 +157,75 @@ fn replica_count_cannot_change_a_single_response_bit() {
         for rep in lines.iter().rev().take(3) {
             assert!(rep.contains("\"cached\":true"), "repeat not cached: {rep}");
         }
+    }
+}
+
+#[test]
+fn int8_serving_is_deterministic_across_replica_counts() {
+    // The quantized twin of the transcript pin above: int8 placements
+    // may differ from f32 (within the bounds pinned by
+    // tests/quantized_agreement.rs) but must be bitwise identical across
+    // 1-, 2-, and 4-replica servers, with repeats answered from the
+    // precision-tagged cache. The f32 run at the end double-checks that
+    // adding the int8 path did not perturb f32 response bytes: two f32
+    // servers over the same corpus still agree bit-for-bit.
+    let ck = quick_checkpoint(23);
+    let spec = DatasetSpec::scaled_down(Setting::Small);
+    let graphs: Vec<_> = (0..4u64)
+        .map(|s| spg::gen::generate_graph(&spec, 500 + s))
+        .collect();
+    let corpus: Vec<(String, &StreamGraph)> = (0..graphs.len())
+        .map(|i| (format!("q{i}"), &graphs[i]))
+        .chain((0..2).map(|i| (format!("rep{i}"), &graphs[i])))
+        .collect();
+
+    let run = |precision: Precision, replicas: usize| -> Vec<String> {
+        let cfg = ServeConfig::builder()
+            .replicas(replicas)
+            .precision(precision)
+            .build()
+            .unwrap();
+        let (addr, handle) = spawn_server(cfg, ck.clone());
+        let mut client = Client::connect(&addr);
+        let mut lines = Vec::new();
+        for (id, g) in &corpus {
+            client.send_line(&alloc_request(id, g).to_line());
+            lines.push(client.read_raw_line());
+        }
+        client.shutdown();
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.responses, corpus.len() as u64);
+        assert_eq!(report.errors, 0, "{precision} x{replicas} errored");
+        lines
+    };
+
+    let int8: Vec<Vec<String>> = [1usize, 2, 4]
+        .iter()
+        .map(|&r| run(Precision::Int8, r))
+        .collect();
+    assert_eq!(
+        int8[0], int8[1],
+        "int8, 1 vs 2 replicas: responses must be bitwise identical"
+    );
+    assert_eq!(
+        int8[0], int8[2],
+        "int8, 1 vs 4 replicas: responses must be bitwise identical"
+    );
+    for rep in int8[0].iter().rev().take(2) {
+        assert!(
+            rep.contains("\"cached\":true"),
+            "int8 repeat missed the precision-tagged cache: {rep}"
+        );
+    }
+
+    let f32_a = run(Precision::F32, 1);
+    let f32_b = run(Precision::F32, 2);
+    assert_eq!(f32_a, f32_b, "f32 transcripts must stay bitwise identical");
+    for (ok, line) in f32_a.iter().zip(&int8[0]) {
+        // Both precisions answer every request successfully; the
+        // placements themselves may legitimately differ.
+        assert!(ok.contains("\"placement\""), "f32 response malformed");
+        assert!(line.contains("\"placement\""), "int8 response malformed");
     }
 }
 
